@@ -1,0 +1,84 @@
+// Ablation A8: client impatience. Sweeps the access deadline and reports
+// each scheme's success rate — the fraction of requests answered before
+// the client gives up. Schemes with shorter cycles (flat, signature)
+// succeed at tighter deadlines; hashing's longer cycle hurts it.
+//
+// Usage: ablation_deadline [--records N] [--csv]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_records = 2000;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      num_records = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  const std::vector<SchemeKind> schemes = {
+      SchemeKind::kFlat, SchemeKind::kOneM, SchemeKind::kDistributed,
+      SchemeKind::kHashing, SchemeKind::kSignature};
+  // Deadlines as multiples of the flat cycle Nr * 500.
+  const std::vector<double> fractions = {0.1, 0.25, 0.5, 1.0, 2.0};
+  const Bytes flat_cycle = static_cast<Bytes>(num_records) * 500;
+
+  std::cout << "Ablation: success rate vs access deadline\n"
+            << "Nr = " << num_records
+            << "; deadlines as fractions of the flat cycle ("
+            << flat_cycle << " bytes)\n\n";
+
+  // One sweep over the whole grid, in parallel.
+  std::vector<TestbedConfig> configs;
+  for (const double fraction : fractions) {
+    for (const SchemeKind kind : schemes) {
+      TestbedConfig config;
+      config.scheme = kind;
+      config.num_records = num_records;
+      config.deadline.access_deadline_bytes =
+          static_cast<Bytes>(fraction * static_cast<double>(flat_cycle));
+      config.min_rounds = 30;
+      config.max_rounds = 120;
+      config.seed = 15000 + static_cast<std::uint64_t>(100 * fraction);
+      configs.push_back(config);
+    }
+  }
+  const auto results = RunSweep(configs);
+
+  std::vector<std::string> columns = {"deadline/cycle"};
+  for (const SchemeKind kind : schemes) {
+    columns.push_back(SchemeKindToString(kind));
+  }
+  ReportTable table(columns);
+  std::size_t index = 0;
+  for (const double fraction : fractions) {
+    std::vector<std::string> row = {FormatDouble(fraction, 2)};
+    for (std::size_t s = 0; s < schemes.size(); ++s, ++index) {
+      if (!results[index].ok()) {
+        std::cerr << "simulation failed: "
+                  << results[index].status().ToString() << "\n";
+        return 1;
+      }
+      row.push_back(FormatDouble(results[index].value().found_rate(), 3));
+    }
+    table.AddRow(row);
+  }
+  csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

@@ -1,0 +1,80 @@
+// Ablation A2 (DESIGN.md): (1,m) indexing's sensitivity to the index
+// replication count m around the analytical optimum m* = sqrt(Nr/I).
+//
+// Usage: ablation_one_m [--records N] [--csv]
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analytical/models.h"
+#include "core/report.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_records = 5000;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      num_records = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  const BucketGeometry geometry;
+  const int optimal = OneMOptimalMExact(num_records, geometry);
+  std::cout << "Ablation: (1,m) indexing replication count m\n"
+            << "Nr = " << num_records << ", model-optimal m* = " << optimal
+            << "\n\n";
+
+  std::vector<int> ms = {1, 2, optimal, 2 * optimal, 4 * optimal,
+                         8 * optimal};
+  std::sort(ms.begin(), ms.end());
+  ms.erase(std::unique(ms.begin(), ms.end()), ms.end());
+
+  ReportTable table({"m", "cycle buckets", "access (S)", "access (A)",
+                     "tuning (S)", "optimal?"});
+  double best_access = 0.0;
+  int best_m = -1;
+  for (const int m : ms) {
+    TestbedConfig config;
+    config.scheme = SchemeKind::kOneM;
+    config.num_records = num_records;
+    config.params.one_m_m = m;
+    config.min_rounds = 30;
+    config.max_rounds = 120;
+    config.seed = 8000 + static_cast<std::uint64_t>(m);
+    const Result<SimulationResult> run = RunTestbed(config);
+    if (!run.ok()) {
+      std::cerr << "simulation failed: " << run.status().ToString() << "\n";
+      return 1;
+    }
+    const SimulationResult& sim = run.value();
+    const AnalyticalEstimate model =
+        OneMModelExact(num_records, geometry, m);
+    if (best_m < 0 || sim.access.mean() < best_access) {
+      best_access = sim.access.mean();
+      best_m = m;
+    }
+    table.AddRow({std::to_string(m), std::to_string(sim.num_buckets),
+                  FormatDouble(sim.access.mean(), 0),
+                  FormatDouble(model.access_time, 0),
+                  FormatDouble(sim.tuning.mean(), 0),
+                  m == optimal ? "model-optimal" : ""});
+  }
+  csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  std::cout << "\nsimulated best m = " << best_m
+            << (best_m == optimal ? " (matches m*)\n" : "\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

@@ -1,0 +1,77 @@
+// Ablation A4 (DESIGN.md): the Lee & Lee signature family — simple vs
+// integrated vs multi-level — across group sizes. The paper compares only
+// simple signature indexing; this bench quantifies what the two
+// extensions buy (tuning) and cost (access) on the same workload.
+//
+// Usage: ablation_signature_family [--records N] [--csv]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_records = 5000;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      num_records = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  std::cout << "Ablation: signature family (simple / integrated / "
+               "multi-level)\n"
+            << "Nr = " << num_records
+            << "; group signatures auto-widen with the group size\n\n";
+
+  ReportTable table({"scheme", "group", "cycle bytes", "access (S)",
+                     "tuning (S)", "false drops/req"});
+
+  const auto run_one = [&](SchemeKind kind, int group) -> bool {
+    TestbedConfig config;
+    config.scheme = kind;
+    config.num_records = num_records;
+    config.params.signature_group_size = group;
+    config.min_rounds = 30;
+    config.max_rounds = 120;
+    config.seed = 11000 + static_cast<std::uint64_t>(group);
+    const Result<SimulationResult> run = RunTestbed(config);
+    if (!run.ok()) {
+      std::cerr << "simulation failed: " << run.status().ToString() << "\n";
+      return false;
+    }
+    const SimulationResult& sim = run.value();
+    table.AddRow({SchemeKindToString(kind),
+                  kind == SchemeKind::kSignature ? "-" : std::to_string(group),
+                  std::to_string(sim.cycle_bytes),
+                  FormatDouble(sim.access.mean(), 0),
+                  FormatDouble(sim.tuning.mean(), 0),
+                  FormatDouble(static_cast<double>(sim.false_drops) /
+                                   static_cast<double>(sim.requests),
+                               3)});
+    return true;
+  };
+
+  if (!run_one(SchemeKind::kSignature, 0)) return 1;
+  for (const int group : {4, 16, 64}) {
+    if (!run_one(SchemeKind::kIntegratedSignature, group)) return 1;
+  }
+  for (const int group : {4, 16, 64}) {
+    if (!run_one(SchemeKind::kMultiLevelSignature, group)) return 1;
+  }
+  csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

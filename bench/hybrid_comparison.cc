@@ -1,0 +1,72 @@
+// Ablation A7: the hybrid index + signature scheme (paper refs [3,4])
+// against its two parents. The hybrid's pitch: a group-level tree is ~G
+// times smaller than (1,m)'s record-level tree (shorter cycle, better
+// access), while in-group signature sifting keeps tuning near the tree
+// schemes instead of the signature scheme's linear scan.
+//
+// Usage: hybrid_comparison [--records N] [--csv]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+namespace {
+
+int Main(int argc, char** argv) {
+  int num_records = 5000;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      num_records = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  std::cout << "Hybrid index+signature vs its parents\n"
+            << "Nr = " << num_records << ", Table 1 geometry\n\n";
+
+  ReportTable table({"scheme", "group", "index buckets", "cycle bytes",
+                     "access (S)", "tuning (S)"});
+  const auto run_one = [&](SchemeKind kind, int group) -> bool {
+    TestbedConfig config;
+    config.scheme = kind;
+    config.num_records = num_records;
+    config.params.signature_group_size = group;
+    config.min_rounds = 30;
+    config.max_rounds = 120;
+    config.seed = 14000 + static_cast<std::uint64_t>(group);
+    const Result<SimulationResult> run = RunTestbed(config);
+    if (!run.ok()) {
+      std::cerr << "simulation failed: " << run.status().ToString() << "\n";
+      return false;
+    }
+    const SimulationResult& sim = run.value();
+    table.AddRow({SchemeKindToString(kind),
+                  kind == SchemeKind::kHybrid ? std::to_string(group) : "-",
+                  std::to_string(sim.num_index_buckets),
+                  std::to_string(sim.cycle_bytes),
+                  FormatDouble(sim.access.mean(), 0),
+                  FormatDouble(sim.tuning.mean(), 0)});
+    return true;
+  };
+
+  if (!run_one(SchemeKind::kOneM, 0)) return 1;
+  if (!run_one(SchemeKind::kDistributed, 0)) return 1;
+  if (!run_one(SchemeKind::kSignature, 0)) return 1;
+  for (const int group : {4, 16, 64}) {
+    if (!run_one(SchemeKind::kHybrid, group)) return 1;
+  }
+  csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: channel
+// construction per scheme, client access walks, event-queue throughput,
+// and the RNG. These measure *implementation* speed (wall clock), unlike
+// the figure benches, which measure *simulated* bytes.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "data/dataset.h"
+#include "des/event_queue.h"
+#include "des/random.h"
+#include "schemes/scheme.h"
+
+namespace airindex {
+namespace {
+
+std::shared_ptr<const Dataset> BenchDataset(int n) {
+  DatasetConfig config;
+  config.num_records = n;
+  config.key_width = 25;
+  return std::make_shared<const Dataset>(Dataset::Generate(config).value());
+}
+
+void BM_ChannelBuild(benchmark::State& state, SchemeKind kind) {
+  const auto dataset = BenchDataset(static_cast<int>(state.range(0)));
+  const BucketGeometry geometry;
+  for (auto _ : state) {
+    auto scheme = BuildScheme(kind, dataset, geometry);
+    benchmark::DoNotOptimize(scheme);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Access(benchmark::State& state, SchemeKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  const auto dataset = BenchDataset(n);
+  const BucketGeometry geometry;
+  auto scheme = BuildScheme(kind, dataset, geometry).value();
+  Rng rng(1);
+  Bytes t = 0;
+  for (auto _ : state) {
+    const int record = static_cast<int>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    t += 12345;
+    benchmark::DoNotOptimize(scheme->Access(dataset->record(record).key, t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EventQueue(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue queue;
+    int sink = 0;
+    for (int i = 0; i < depth; ++i) {
+      queue.Schedule((i * 2654435761u) % 1000000, [&sink] { ++sink; });
+    }
+    while (!queue.empty()) queue.RunNext();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+
+void BM_RngUint64(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextUint64());
+  }
+}
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextExponential(500.0));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_ChannelBuild, flat, SchemeKind::kFlat)->Arg(34000);
+BENCHMARK_CAPTURE(BM_ChannelBuild, one_m, SchemeKind::kOneM)->Arg(34000);
+BENCHMARK_CAPTURE(BM_ChannelBuild, distributed, SchemeKind::kDistributed)
+    ->Arg(34000);
+BENCHMARK_CAPTURE(BM_ChannelBuild, hashing, SchemeKind::kHashing)->Arg(34000);
+BENCHMARK_CAPTURE(BM_ChannelBuild, signature, SchemeKind::kSignature)
+    ->Arg(34000);
+
+BENCHMARK_CAPTURE(BM_Access, flat, SchemeKind::kFlat)->Arg(34000);
+BENCHMARK_CAPTURE(BM_Access, one_m, SchemeKind::kOneM)->Arg(34000);
+BENCHMARK_CAPTURE(BM_Access, distributed, SchemeKind::kDistributed)
+    ->Arg(34000);
+BENCHMARK_CAPTURE(BM_Access, hashing, SchemeKind::kHashing)->Arg(34000);
+BENCHMARK_CAPTURE(BM_Access, signature, SchemeKind::kSignature)->Arg(34000);
+
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_RngUint64);
+BENCHMARK(BM_RngExponential);
+
+}  // namespace
+}  // namespace airindex
+
+BENCHMARK_MAIN();

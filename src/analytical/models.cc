@@ -1,0 +1,274 @@
+#include "analytical/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace airindex {
+
+namespace {
+
+double Pow(double base, int exponent) {
+  return std::pow(base, static_cast<double>(exponent));
+}
+
+}  // namespace
+
+AnalyticalEstimate FlatModel(int num_records, const BucketGeometry& geometry) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const auto n = static_cast<double>(num_records);
+  AnalyticalEstimate estimate;
+  // Initial wait of half a bucket, then on average (N+1)/2 buckets until
+  // the requested record has been read.
+  estimate.access_time = (0.5 + (n + 1.0) / 2.0) * dt;
+  estimate.tuning_time = estimate.access_time;
+  return estimate;
+}
+
+BTreeModelShape BTreeShape(int num_records, const BucketGeometry& geometry) {
+  const int fanout = geometry.index_fanout();
+  BTreeModelShape shape;
+  // k = ceil(log_n(Nr)): number of index levels of the complete tree.
+  double capacity = 1.0;
+  while (capacity < static_cast<double>(num_records)) {
+    capacity *= fanout;
+    ++shape.levels;
+  }
+  shape.levels = std::max(shape.levels, 1);
+  // I = 1 + n + ... + n^(k-1) = (n^k - 1)/(n - 1).
+  shape.index_buckets = (Pow(fanout, shape.levels) - 1.0) /
+                        (static_cast<double>(fanout) - 1.0);
+  return shape;
+}
+
+AnalyticalEstimate OneMModel(int num_records, const BucketGeometry& geometry,
+                             int m) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const BTreeModelShape shape = BTreeShape(num_records, geometry);
+  const auto nr = static_cast<double>(num_records);
+  const double index_buckets = shape.index_buckets;
+  const double cycle = static_cast<double>(m) * index_buckets + nr;
+
+  AnalyticalEstimate estimate;
+  // Ft + Pt + Wt with Pt = half the average segment period and Wt = half
+  // the cycle, mirroring the paper's distributed-indexing derivation.
+  estimate.access_time =
+      0.5 * (1.0 + (index_buckets + nr / static_cast<double>(m)) + cycle) * dt;
+  // Initial wait + first bucket + k index probes + download.
+  estimate.tuning_time = (static_cast<double>(shape.levels) + 2.5) * dt;
+  return estimate;
+}
+
+int OneMOptimalM(int num_records, const BucketGeometry& geometry) {
+  const BTreeModelShape shape = BTreeShape(num_records, geometry);
+  const int m = static_cast<int>(std::lround(
+      std::sqrt(static_cast<double>(num_records) / shape.index_buckets)));
+  return std::clamp(m, 1, num_records);
+}
+
+AnalyticalEstimate DistributedModel(int num_records,
+                                    const BucketGeometry& geometry, int r) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const auto n = static_cast<double>(geometry.index_fanout());
+  const BTreeModelShape shape = BTreeShape(num_records, geometry);
+  const int k = shape.levels;
+  const auto nr = static_cast<double>(num_records);
+  r = std::clamp(r, 0, k - 1);
+
+  // Total index buckets: (n^(r+1) + n^k - n^r - n)/(n - 1); the cycle
+  // also carries the Nr data buckets.
+  const double index_buckets =
+      (Pow(n, r + 1) + Pow(n, k) - Pow(n, r) - n) / (n - 1.0);
+  const double total_buckets = index_buckets + nr;
+
+  // Average index-segment length: non-replicated part (n^(k-r)-1)/(n-1)
+  // plus replicated part (n^(r+1)-n)/(n^(r+1)-n^r); average data-segment
+  // length Nr/n^r.
+  const double avg_index_segment =
+      (Pow(n, k - r) - 1.0) / (n - 1.0) +
+      (r == 0 ? 0.0
+              : (Pow(n, r + 1) - n) / (Pow(n, r + 1) - Pow(n, r)));
+  const double avg_data_segment = nr / Pow(n, r);
+
+  AnalyticalEstimate estimate;
+  estimate.access_time =
+      0.5 *
+      (avg_index_segment + avg_data_segment + total_buckets + 1.0) * dt;
+  estimate.tuning_time = (static_cast<double>(k) + 1.5) * dt;
+  return estimate;
+}
+
+int DistributedOptimalR(int num_records, const BucketGeometry& geometry) {
+  const BTreeModelShape shape = BTreeShape(num_records, geometry);
+  int best_r = 0;
+  double best_access = DistributedModel(num_records, geometry, 0).access_time;
+  for (int r = 1; r < shape.levels; ++r) {
+    const double access =
+        DistributedModel(num_records, geometry, r).access_time;
+    if (access < best_access) {
+      best_access = access;
+      best_r = r;
+    }
+  }
+  return best_r;
+}
+
+BTreeLevelCounts ComputeBTreeLevels(int num_records, int fanout) {
+  BTreeLevelCounts levels;
+  // Bottom-up, mirroring BTree::Build: leaves first, then parents.
+  std::vector<long long> bottom_up;
+  long long count =
+      (static_cast<long long>(num_records) + fanout - 1) / fanout;
+  bottom_up.push_back(count);
+  while (count > 1) {
+    count = (count + fanout - 1) / fanout;
+    bottom_up.push_back(count);
+  }
+  levels.height = static_cast<int>(bottom_up.size());
+  levels.count_at_depth.assign(bottom_up.rbegin(), bottom_up.rend());
+  return levels;
+}
+
+AnalyticalEstimate OneMModelExact(int num_records,
+                                  const BucketGeometry& geometry, int m) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const BTreeLevelCounts levels =
+      ComputeBTreeLevels(num_records, geometry.index_fanout());
+  double index_buckets = 0;
+  for (const long long c : levels.count_at_depth) {
+    index_buckets += static_cast<double>(c);
+  }
+  const auto nr = static_cast<double>(num_records);
+  const double cycle = static_cast<double>(m) * index_buckets + nr;
+
+  AnalyticalEstimate estimate;
+  estimate.access_time =
+      0.5 * (1.0 + (index_buckets + nr / static_cast<double>(m)) + cycle) * dt;
+  estimate.tuning_time = (static_cast<double>(levels.height) + 2.5) * dt;
+  return estimate;
+}
+
+int OneMOptimalMExact(int num_records, const BucketGeometry& geometry) {
+  const BTreeLevelCounts levels =
+      ComputeBTreeLevels(num_records, geometry.index_fanout());
+  double index_buckets = 0;
+  for (const long long c : levels.count_at_depth) {
+    index_buckets += static_cast<double>(c);
+  }
+  const int m = static_cast<int>(std::lround(
+      std::sqrt(static_cast<double>(num_records) / index_buckets)));
+  return std::clamp(m, 1, num_records);
+}
+
+AnalyticalEstimate DistributedModelExact(int num_records,
+                                         const BucketGeometry& geometry,
+                                         int r) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const BTreeLevelCounts levels =
+      ComputeBTreeLevels(num_records, geometry.index_fanout());
+  const int k = levels.height;
+  r = std::clamp(r, 0, k - 1);
+  const auto nr = static_cast<double>(num_records);
+
+  // A replicated node at depth d < r is broadcast once per child, i.e.
+  // count(d+1) occurrences in total; non-replicated nodes once each.
+  double replicated_broadcasts = 0;
+  for (int d = 0; d < r; ++d) {
+    replicated_broadcasts +=
+        static_cast<double>(levels.count_at_depth[static_cast<std::size_t>(
+            d + 1)]);
+  }
+  double non_replicated = 0;
+  for (int d = r; d < k; ++d) {
+    non_replicated += static_cast<double>(
+        levels.count_at_depth[static_cast<std::size_t>(d)]);
+  }
+  const double segments =
+      static_cast<double>(levels.count_at_depth[static_cast<std::size_t>(r)]);
+  const double total_index = replicated_broadcasts + non_replicated;
+  const double total_buckets = total_index + nr;
+  const double avg_index_segment = total_index / segments;
+  const double avg_data_segment = nr / segments;
+
+  AnalyticalEstimate estimate;
+  estimate.access_time =
+      0.5 * (avg_index_segment + avg_data_segment + total_buckets + 1.0) * dt;
+  estimate.tuning_time = (static_cast<double>(k) + 1.5) * dt;
+  return estimate;
+}
+
+int DistributedOptimalRExact(int num_records, const BucketGeometry& geometry) {
+  const BTreeLevelCounts levels =
+      ComputeBTreeLevels(num_records, geometry.index_fanout());
+  int best_r = 0;
+  double best_access =
+      DistributedModelExact(num_records, geometry, 0).access_time;
+  for (int r = 1; r < levels.height; ++r) {
+    const double access =
+        DistributedModelExact(num_records, geometry, r).access_time;
+    if (access < best_access) {
+      best_access = access;
+      best_r = r;
+    }
+  }
+  return best_r;
+}
+
+double ExpectedHashCollisions(int num_records, int allocated) {
+  const auto nr = static_cast<double>(num_records);
+  const auto na = static_cast<double>(allocated);
+  // A slot is non-empty with probability 1-(1-1/Na)^Nr; every record
+  // beyond the first in a slot is displaced.
+  const double nonempty = na * (1.0 - std::pow(1.0 - 1.0 / na, nr));
+  return nr - nonempty;
+}
+
+AnalyticalEstimate HashingModel(int num_records, int allocated, int colliding,
+                                const BucketGeometry& geometry) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const auto nr = static_cast<double>(num_records);
+  const auto na = static_cast<double>(allocated);
+  const auto nc = static_cast<double>(colliding);
+  const double n_total = na + nc;
+
+  // The paper's three tune-in scenarios for reaching the hashing
+  // position (Section 2.2).
+  const double ht1 = (nc / n_total) * 0.5 * (nc + na);
+  const double ht2 = 0.5 * (na / n_total) * (na / 3.0);
+  const double ht3 = 0.5 * (na / n_total) * (na / 3.0 + nc + na / 3.0);
+  const double ht = ht1 + ht2 + ht3;
+  const double st = nc / 2.0;
+  const double ct = nc / nr;
+
+  AnalyticalEstimate estimate;
+  estimate.access_time = (0.5 + ht + st + ct + 1.0) * dt;
+  // Initial wait + first probe + hashing-position probe + overflow chain
+  // + download, plus one extra probe when the record already passed.
+  const double extra = (nc + 0.5 * nr) / (nc + nr);
+  estimate.tuning_time = (0.5 + extra + ct + 3.0) * dt;
+  return estimate;
+}
+
+double TheoreticalFalseDropRate(const BucketGeometry& geometry,
+                                int bits_per_attribute, int num_attributes) {
+  const double bits = static_cast<double>(geometry.signature_bytes) * 8.0;
+  const auto s = static_cast<double>(bits_per_attribute);
+  const double fields = static_cast<double>(num_attributes) + 1.0;
+  const double set_fraction = 1.0 - std::pow(1.0 - 1.0 / bits, s * fields);
+  return std::pow(set_fraction, s);
+}
+
+AnalyticalEstimate SignatureModel(int num_records,
+                                  const BucketGeometry& geometry,
+                                  double false_drop_rate) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const auto it = static_cast<double>(geometry.signature_bucket_bytes());
+  const auto nr = static_cast<double>(num_records);
+
+  AnalyticalEstimate estimate;
+  estimate.access_time = 0.5 * (dt + it) * (nr + 1.0);
+  const double false_drops = false_drop_rate * nr / 2.0;
+  estimate.tuning_time = 0.5 * (nr + 1.0) * it + (false_drops + 0.5) * dt;
+  return estimate;
+}
+
+}  // namespace airindex

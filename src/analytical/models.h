@@ -1,0 +1,116 @@
+#ifndef AIRINDEX_ANALYTICAL_MODELS_H_
+#define AIRINDEX_ANALYTICAL_MODELS_H_
+
+#include <vector>
+
+#include "broadcast/geometry.h"
+
+namespace airindex {
+
+/// Expected access and tuning time of a scheme, in bytes — the paper's
+/// Section 2 closed forms. These are the "(A)" series of Figure 4; the
+/// testbed produces the "(S)" series.
+struct AnalyticalEstimate {
+  double access_time = 0.0;
+  double tuning_time = 0.0;
+};
+
+/// Flat broadcast: both metrics are about half the broadcast cycle
+/// (Section 4.2), plus the initial wait and the final download.
+AnalyticalEstimate FlatModel(int num_records, const BucketGeometry& geometry);
+
+/// Full-tree properties used by the B+-tree models. The paper's formulas
+/// assume a complete n-ary tree; k = ceil(log_n(Nr)).
+struct BTreeModelShape {
+  int levels = 0;          // k
+  double index_buckets = 0;  // I: total nodes of the (complete) tree
+};
+
+/// Shape of the complete index tree the analytical formulas assume.
+BTreeModelShape BTreeShape(int num_records, const BucketGeometry& geometry);
+
+/// (1,m) indexing with the whole tree broadcast m times per cycle.
+/// Derived exactly as the paper derives distributed indexing:
+/// At = initial wait + avg probe to next index segment + half cycle;
+/// Tt = initial wait + first bucket + k tree levels + download.
+AnalyticalEstimate OneMModel(int num_records, const BucketGeometry& geometry,
+                             int m);
+
+/// Access-time-optimal m* = sqrt(Nr / I) (clamped to [1, Nr]).
+int OneMOptimalM(int num_records, const BucketGeometry& geometry);
+
+/// Distributed indexing with r replicated levels (paper Section 2.1):
+///   At = 1/2 ((n^(k-r)-1)/(n-1) + (n^(r+1)-n)/(n^(r+1)-n^r)
+///             + Nr/n^r + N + 1) * Dt
+///   Tt = (k + 3/2) * Dt
+/// where N counts all buckets of the cycle.
+AnalyticalEstimate DistributedModel(int num_records,
+                                    const BucketGeometry& geometry, int r);
+
+/// r in [0, k-1] minimizing the model's access time.
+int DistributedOptimalR(int num_records, const BucketGeometry& geometry);
+
+/// Node counts of the *actual* (possibly incomplete) bottom-up B+ tree:
+/// count_at_depth[0] == 1 is the root, count_at_depth[height-1] the leaf
+/// level.
+struct BTreeLevelCounts {
+  std::vector<long long> count_at_depth;
+  int height = 0;
+};
+
+/// Level counts of the tree BTree::Build produces, without building it.
+BTreeLevelCounts ComputeBTreeLevels(int num_records, int fanout);
+
+/// Same formula structure as OneMModel but with the actual tree's index
+/// bucket count instead of the complete-tree closed form. This is the
+/// series to compare against simulation (the paper's Figure 4 shows
+/// simulation matching analysis, which requires consistent tree shapes).
+AnalyticalEstimate OneMModelExact(int num_records,
+                                  const BucketGeometry& geometry, int m);
+
+/// m* computed from the actual tree size.
+int OneMOptimalMExact(int num_records, const BucketGeometry& geometry);
+
+/// Same formula structure as DistributedModel but with actual level
+/// counts: replicated occurrences are sum of child counts, segments are
+/// the real depth-r node count.
+AnalyticalEstimate DistributedModelExact(int num_records,
+                                         const BucketGeometry& geometry,
+                                         int r);
+
+/// r minimizing DistributedModelExact's access time.
+int DistributedOptimalRExact(int num_records, const BucketGeometry& geometry);
+
+/// Simple hashing (paper Section 2.2), assembled from the components the
+/// paper derives: Ft + Ht(three tune-in scenarios) + St + Ct + Dt for
+/// access; the four-probe expectation for tuning.
+/// `allocated` is Na, `colliding` Nc; the cycle has N = Na + Nc buckets.
+AnalyticalEstimate HashingModel(int num_records, int allocated, int colliding,
+                                const BucketGeometry& geometry);
+
+/// Expected number of colliding (displaced) records when hashing Nr
+/// records uniformly into Na slots: Nr - Na * (1 - (1 - 1/Na)^Nr).
+double ExpectedHashCollisions(int num_records, int allocated);
+
+/// Theoretical false-drop probability of superimposed coding: a record
+/// signature sets `bits_per_attribute` bits for the key and for each of
+/// `num_attributes` attributes (with replacement) in a
+/// (signature_bytes*8)-bit string; a key query of `bits_per_attribute`
+/// bits false-drops on an unrelated record with probability ~f^s where
+/// f = 1 - (1 - 1/B)^(s*(A+1)) is the expected fraction of set bits.
+double TheoreticalFalseDropRate(const BucketGeometry& geometry,
+                                int bits_per_attribute, int num_attributes);
+
+/// Simple signature indexing (paper Section 2.3):
+///   At = 1/2 (Dt + It)(Nr + 1)
+///   Tt = 1/2 (Nr + 1) It + (Fd + 1/2) Dt
+/// `false_drop_rate` is the per-signature false-drop probability; the
+/// expected number of false drops on a scan of half the cycle is
+/// Fd = false_drop_rate * Nr / 2.
+AnalyticalEstimate SignatureModel(int num_records,
+                                  const BucketGeometry& geometry,
+                                  double false_drop_rate);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_ANALYTICAL_MODELS_H_

@@ -1,0 +1,97 @@
+#ifndef AIRINDEX_BROADCAST_BUCKET_H_
+#define AIRINDEX_BROADCAST_BUCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace airindex {
+
+/// Kinds of buckets a scheme can place on the channel.
+enum class BucketKind {
+  /// Carries one data record (all schemes).
+  kData,
+  /// Carries B+-tree index information ((1,m) and distributed indexing).
+  kIndex,
+  /// Carries a record or group signature (signature indexing family).
+  kSignature,
+};
+
+/// Returns a short printable name for a bucket kind.
+const char* BucketKindToString(BucketKind kind);
+
+/// One directory entry inside an index bucket: "keys up to `key_hi` (and
+/// from `key_lo`) are reachable at cycle phase `target_phase`".
+///
+/// Phases are byte positions within one broadcast cycle; a client turns a
+/// phase into an absolute arrival time with Channel::NextArrivalOfPhase,
+/// which models the paper's "time offset" pointers uniformly across
+/// schemes.
+struct PointerEntry {
+  std::string key_lo;
+  std::string key_hi;
+  Bytes target_phase = kInvalidPhase;
+};
+
+/// One bucket instance on the broadcast cycle.
+///
+/// This is deliberately a plain aggregate: builders fill in the fields a
+/// scheme uses and leave the rest defaulted. Field groups:
+///
+/// - all kinds: kind, size, next_index_segment_phase (schemes with index
+///   segments store the offset every bucket carries in Fig. 2).
+/// - kData: record_id; hashing additionally uses hash_value / shift_phase
+///   (the control part) and home_position.
+/// - kIndex: level, key range, local index, control index (distributed),
+///   last_broadcast_key (distributed).
+/// - kSignature: signature words; record_id of the data bucket that
+///   follows.
+struct Bucket {
+  BucketKind kind = BucketKind::kData;
+  /// Broadcast size in bytes (== time to read the bucket).
+  Bytes size = 0;
+
+  /// Dataset record index for kData / kSignature buckets; -1 when the
+  /// bucket carries no record (e.g., an empty hash slot).
+  std::int64_t record_id = -1;
+
+  // --- index segments (B+-tree schemes) -------------------------------
+  /// Phase of the first bucket of the next index segment.
+  Bytes next_index_segment_phase = kInvalidPhase;
+  /// Tree level, counted from the leaves: 0 = leaf index bucket. -1 for
+  /// non-index buckets.
+  int level = -1;
+  /// Key range covered by this index node's subtree.
+  std::string range_lo;
+  std::string range_hi;
+  /// Local index: one entry per child (leaf level: per data record).
+  std::vector<PointerEntry> local;
+  /// Control index (distributed indexing): nearest-ancestor-first entries
+  /// pointing at each ancestor's next occurrence after this bucket.
+  std::vector<PointerEntry> control;
+  /// Key of the data record most recently broadcast before this bucket;
+  /// empty if none yet this cycle. Drives the paper's "if K < key most
+  /// recently broadcast, go to next broadcast" rule.
+  std::string last_broadcast_key;
+
+  // --- hashing control part -------------------------------------------
+  /// Hash value this *position* stands for (the control part of the
+  /// first Na buckets); -1 beyond the allocated area.
+  std::int64_t slot = -1;
+  /// Hash value of the record carried in this bucket; -1 if empty.
+  std::int64_t hash_value = -1;
+  /// Phase of the first bucket holding records whose hash equals `slot`
+  /// (the paper's shift value, resolved to a phase). kInvalidPhase beyond
+  /// the allocated area.
+  Bytes shift_phase = kInvalidPhase;
+
+  // --- signature buckets ----------------------------------------------
+  /// Superimposed-coding signature words (signature_bytes * 8 bits).
+  std::vector<std::uint64_t> signature;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_BROADCAST_BUCKET_H_

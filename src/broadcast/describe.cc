@@ -1,0 +1,52 @@
+#include "broadcast/describe.h"
+
+#include <iomanip>
+
+namespace airindex {
+
+void DescribeChannel(const Channel& channel, std::ostream& os,
+                     std::size_t max_buckets) {
+  os << "cycle: " << channel.num_buckets() << " buckets, "
+     << channel.cycle_bytes() << " bytes (" << channel.num_data_buckets()
+     << " data, " << channel.num_index_buckets() << " index, "
+     << channel.num_signature_buckets() << " signature)\n";
+  const std::size_t shown = std::min(max_buckets, channel.num_buckets());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Bucket& bucket = channel.bucket(i);
+    os << '[' << std::setw(6) << i << " @ " << std::setw(8)
+       << channel.start_phase(i) << ".." << channel.end_phase(i) - 1 << "] ";
+    switch (bucket.kind) {
+      case BucketKind::kData:
+        os << "data      ";
+        if (bucket.record_id >= 0) {
+          os << "record=" << bucket.record_id;
+        } else {
+          os << "(empty slot)";
+        }
+        if (bucket.slot >= 0) {
+          os << " slot=" << bucket.slot << " shift->" << bucket.shift_phase;
+        }
+        break;
+      case BucketKind::kIndex:
+        os << "index  L" << bucket.level << " range=[" << bucket.range_lo
+           << ".." << bucket.range_hi << "] local=" << bucket.local.size()
+           << " ctl=" << bucket.control.size();
+        if (!bucket.last_broadcast_key.empty()) {
+          os << " last=" << bucket.last_broadcast_key;
+        }
+        break;
+      case BucketKind::kSignature:
+        os << "signature ";
+        if (bucket.level == 1) os << "(group) ";
+        os << "record=" << bucket.record_id << " bits="
+           << bucket.signature.size() * 64;
+        break;
+    }
+    os << '\n';
+  }
+  if (shown < channel.num_buckets()) {
+    os << "... (" << channel.num_buckets() - shown << " more buckets)\n";
+  }
+}
+
+}  // namespace airindex

@@ -1,0 +1,23 @@
+#ifndef AIRINDEX_BROADCAST_DESCRIBE_H_
+#define AIRINDEX_BROADCAST_DESCRIBE_H_
+
+#include <ostream>
+
+#include "broadcast/channel.h"
+
+namespace airindex {
+
+/// Human-readable dump of a broadcast cycle, one line per bucket:
+///
+///   [   12 @  6000..6499] index  L2 range=[caaab..cazzz] local=17 ctl=2
+///   [   13 @  6500..6999] data   record=41
+///
+/// Prints at most `max_buckets` lines (then an ellipsis with the
+/// remaining count). Intended for debugging channel builders and for the
+/// examples to show what a scheme actually puts on air.
+void DescribeChannel(const Channel& channel, std::ostream& os,
+                     std::size_t max_buckets = 64);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_BROADCAST_DESCRIBE_H_

@@ -1,0 +1,52 @@
+#ifndef AIRINDEX_BROADCAST_GEOMETRY_H_
+#define AIRINDEX_BROADCAST_GEOMETRY_H_
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace airindex {
+
+/// Byte sizes of everything put on the broadcast channel.
+///
+/// Defaults reproduce the paper's Table 1 (500-byte records, 25-byte
+/// keys). The record/key-ratio experiments (Fig. 6) vary key_bytes while
+/// holding record_bytes at 500.
+struct BucketGeometry {
+  /// Size of one data record; also the size Dt of a data bucket and (per
+  /// the uniform-bucket model of Imielinski et al.) of an index bucket.
+  Bytes record_bytes = 500;
+  /// Size of a primary key as broadcast inside index buckets.
+  Bytes key_bytes = 25;
+  /// Size of a time-offset pointer inside index/control entries.
+  Bytes offset_bytes = 4;
+  /// Size It of a signature bucket (signature indexing only).
+  Bytes signature_bytes = 16;
+
+  /// Dt: bytes of a data bucket.
+  Bytes data_bucket_bytes() const { return record_bytes; }
+
+  /// Bytes of an index bucket (uniform with data buckets, as in the
+  /// paper's B+-tree analysis where both are counted as Dt).
+  Bytes index_bucket_bytes() const { return record_bytes; }
+
+  /// It: bytes of a signature bucket.
+  Bytes signature_bucket_bytes() const { return signature_bytes; }
+
+  /// n: index entries per index bucket — the B+ tree fanout. The paper's
+  /// record/key-ratio analysis: "higher record/key ratio implies more
+  /// indices likely to be placed in a single bucket".
+  int index_fanout() const {
+    const Bytes entry = key_bytes + offset_bytes;
+    return std::max<int>(2, static_cast<int>(index_bucket_bytes() / entry));
+  }
+
+  /// Record/key ratio as defined in Section 5 of the paper.
+  double record_key_ratio() const {
+    return static_cast<double>(record_bytes) / static_cast<double>(key_bytes);
+  }
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_BROADCAST_GEOMETRY_H_

@@ -1,0 +1,88 @@
+#ifndef AIRINDEX_COMMON_STATUS_H_
+#define AIRINDEX_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace airindex {
+
+/// Error codes used across the library. The library does not throw
+/// exceptions across API boundaries; fallible operations return a Status
+/// (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A lightweight success-or-error value, in the style used by storage
+/// engines (RocksDB / Arrow). A default-constructed Status is OK and
+/// carries no message; error statuses carry a code and a human-readable
+/// message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for an OK status (for symmetry with the error factories).
+  static Status Ok() { return Status(); }
+
+  /// Factory for an invalid-argument error.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+
+  /// Factory for an out-of-range error.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+
+  /// Factory for a not-found error.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+
+  /// Factory for a failed-precondition error.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+
+  /// Factory for an internal-invariant-violation error.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True if the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_COMMON_STATUS_H_

@@ -1,0 +1,23 @@
+#ifndef AIRINDEX_COMMON_TYPES_H_
+#define AIRINDEX_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace airindex {
+
+/// The library's single time/size unit.
+///
+/// Following the paper (Section 4.1), both access time and tuning time are
+/// measured "in terms of the number of bytes read": the simulated clock
+/// advances one unit per byte put on the broadcast channel. Using one type
+/// for both byte counts and simulated time makes the equivalence explicit
+/// and keeps all arithmetic in integers.
+using Bytes = std::int64_t;
+
+/// Sentinel for "no target" in bucket pointer fields (e.g., a local index
+/// entry whose child has no further occurrence this cycle).
+inline constexpr Bytes kInvalidPhase = -1;
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_COMMON_TYPES_H_

@@ -1,0 +1,16 @@
+#include "core/broadcast_server.h"
+
+#include <utility>
+
+namespace airindex {
+
+Result<BroadcastServer> BroadcastServer::Create(
+    SchemeKind kind, std::shared_ptr<const Dataset> dataset,
+    const BucketGeometry& geometry, const SchemeParams& params) {
+  Result<std::unique_ptr<BroadcastScheme>> scheme =
+      BuildScheme(kind, std::move(dataset), geometry, params);
+  if (!scheme.ok()) return scheme.status();
+  return BroadcastServer(std::move(scheme).value());
+}
+
+}  // namespace airindex

@@ -1,0 +1,50 @@
+#ifndef AIRINDEX_CORE_BROADCAST_SERVER_H_
+#define AIRINDEX_CORE_BROADCAST_SERVER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "schemes/access.h"
+#include "schemes/scheme.h"
+
+namespace airindex {
+
+/// The testbed's BroadcastServer (paper Section 3): "constructs the
+/// broadcast channel at the initialization stage according to the input
+/// parameters and then starts the broadcast procedure".
+///
+/// The broadcast is periodic and deterministic, so "broadcasting" is the
+/// channel itself plus the byte clock; requests listen by running their
+/// scheme's access protocol against it at their arrival time.
+class BroadcastServer {
+ public:
+  /// Builds the channel for `kind` over `dataset`.
+  static Result<BroadcastServer> Create(
+      SchemeKind kind, std::shared_ptr<const Dataset> dataset,
+      const BucketGeometry& geometry, const SchemeParams& params);
+
+  BroadcastServer(BroadcastServer&&) = default;
+  BroadcastServer& operator=(BroadcastServer&&) = default;
+
+  /// The scheme's broadcast cycle.
+  const Channel& channel() const { return scheme_->channel(); }
+
+  /// The access method in use.
+  const BroadcastScheme& scheme() const { return *scheme_; }
+
+  /// A client tuning in at `tune_in` and requesting `key`.
+  AccessResult Listen(std::string_view key, Bytes tune_in) const {
+    return scheme_->Access(key, tune_in);
+  }
+
+ private:
+  explicit BroadcastServer(std::unique_ptr<BroadcastScheme> scheme)
+      : scheme_(std::move(scheme)) {}
+
+  std::unique_ptr<BroadcastScheme> scheme_;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_BROADCAST_SERVER_H_

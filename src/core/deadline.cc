@@ -1,0 +1,33 @@
+#include "core/deadline.h"
+
+#include <cmath>
+
+namespace airindex {
+
+AccessResult ApplyDeadline(const AccessResult& walk,
+                           const DeadlinePolicy& policy) {
+  if (policy.access_deadline_bytes <= 0 ||
+      walk.access_time <= policy.access_deadline_bytes) {
+    return walk;
+  }
+  AccessResult truncated = walk;
+  const double fraction =
+      static_cast<double>(policy.access_deadline_bytes) /
+      static_cast<double>(walk.access_time);
+  truncated.found = false;
+  truncated.abandoned = true;
+  truncated.access_time = policy.access_deadline_bytes;
+  truncated.tuning_time = static_cast<Bytes>(
+      std::llround(fraction * static_cast<double>(walk.tuning_time)));
+  truncated.probes = static_cast<int>(
+      std::llround(fraction * static_cast<double>(walk.probes)));
+  return truncated;
+}
+
+AccessResult AccessWithDeadline(const BroadcastScheme& scheme,
+                                std::string_view key, Bytes tune_in,
+                                const DeadlinePolicy& policy) {
+  return ApplyDeadline(scheme.Access(key, tune_in), policy);
+}
+
+}  // namespace airindex

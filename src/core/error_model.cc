@@ -1,0 +1,58 @@
+#include "core/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace airindex {
+
+AccessResult AccessWithErrors(const BroadcastScheme& scheme,
+                              std::string_view key, Bytes tune_in,
+                              const ErrorModel& model, Rng* rng,
+                              int max_retries) {
+  const double p = std::clamp(model.bucket_error_rate, 0.0, 1.0);
+  AccessResult total;
+  Bytes now = tune_in;
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    const AccessResult walk = scheme.Access(key, now);
+    total.false_drops += walk.false_drops;
+    total.anomalies += walk.anomalies;
+
+    // Did any of the walk's bucket reads corrupt? P = 1 - (1-p)^probes.
+    bool corrupted = false;
+    int corrupt_at = walk.probes;  // 1-based probe index of the failure
+    if (p > 0.0) {
+      for (int probe = 1; probe <= walk.probes; ++probe) {
+        if (rng->NextBernoulli(p)) {
+          corrupted = true;
+          corrupt_at = probe;
+          break;
+        }
+      }
+    }
+    if (!corrupted) {
+      total.found = walk.found;
+      total.probes += walk.probes;
+      total.tuning_time += walk.tuning_time;
+      total.access_time = now + walk.access_time - tune_in;
+      return total;
+    }
+
+    // Charge the aborted attempt a proportional share of its walk up to
+    // the corrupted probe, then re-tune from that moment.
+    const double fraction = static_cast<double>(corrupt_at) /
+                            static_cast<double>(std::max(walk.probes, 1));
+    const auto wasted_access = static_cast<Bytes>(
+        std::llround(fraction * static_cast<double>(walk.access_time)));
+    const auto wasted_tuning = static_cast<Bytes>(
+        std::llround(fraction * static_cast<double>(walk.tuning_time)));
+    total.probes += corrupt_at;
+    total.tuning_time += std::min(wasted_tuning, walk.tuning_time);
+    now += std::max<Bytes>(wasted_access, 1);
+  }
+  total.found = false;
+  total.access_time = now - tune_in;
+  ++total.anomalies;  // retry budget exhausted
+  return total;
+}
+
+}  // namespace airindex

@@ -1,0 +1,39 @@
+#ifndef AIRINDEX_CORE_ERROR_MODEL_H_
+#define AIRINDEX_CORE_ERROR_MODEL_H_
+
+#include <string_view>
+
+#include "des/random.h"
+#include "schemes/access.h"
+
+namespace airindex {
+
+/// Unreliable-channel model, after the error-prone mobile environments
+/// of Lo & Chen (the paper's reference [9]). Each bucket read is
+/// independently corrupted with probability `bucket_error_rate`
+/// (checksum failure); a client that reads a corrupted bucket cannot
+/// trust its pointers or payload.
+struct ErrorModel {
+  double bucket_error_rate = 0.0;
+};
+
+/// Runs `scheme`'s access protocol over the unreliable channel.
+///
+/// Retry semantics: the walk proceeds until its first corrupted read;
+/// the client then abandons the attempt and re-tunes from that moment,
+/// repeating until the protocol completes cleanly or `max_retries`
+/// attempts are exhausted (then found=false and one anomaly is
+/// recorded). Because protocols are simulated as whole walks, the
+/// corruption point within an attempt is approximated as a uniformly
+/// chosen probe, charging the attempt a proportional share of its
+/// access/tuning bytes — an approximation documented in DESIGN.md that
+/// preserves the expected retry count and the relative per-scheme
+/// vulnerability (long walks fail more).
+AccessResult AccessWithErrors(const BroadcastScheme& scheme,
+                              std::string_view key, Bytes tune_in,
+                              const ErrorModel& model, Rng* rng,
+                              int max_retries = 64);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_ERROR_MODEL_H_

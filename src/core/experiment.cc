@@ -1,0 +1,45 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace airindex {
+
+std::vector<Result<SimulationResult>> RunSweep(
+    const std::vector<TestbedConfig>& configs, int threads) {
+  std::vector<Result<SimulationResult>> results;
+  results.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    results.emplace_back(Status::Internal("not run"));
+  }
+  if (configs.empty()) return results;
+
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(configs.size()));
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) break;
+      results[i] = RunTestbed(configs[i]);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  return results;
+}
+
+}  // namespace airindex

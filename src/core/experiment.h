@@ -1,0 +1,24 @@
+#ifndef AIRINDEX_CORE_EXPERIMENT_H_
+#define AIRINDEX_CORE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+
+/// Runs a batch of independent testbed configurations, optionally in
+/// parallel, returning one result per configuration in input order.
+///
+/// Every simulation is seeded and self-contained, so a sweep (a figure's
+/// grid of scheme x parameter points) is embarrassingly parallel;
+/// `threads` <= 0 uses the hardware concurrency. Results are identical
+/// to running the configurations one by one.
+std::vector<Result<SimulationResult>> RunSweep(
+    const std::vector<TestbedConfig>& configs, int threads = 0);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_EXPERIMENT_H_

@@ -1,0 +1,39 @@
+#ifndef AIRINDEX_CORE_REPORT_H_
+#define AIRINDEX_CORE_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace airindex {
+
+/// Column-aligned text table used by the figure benches to print the
+/// paper's series. Also emits CSV for downstream plotting.
+class ReportTable {
+ public:
+  /// `columns` are the header labels.
+  explicit ReportTable(std::vector<std::string> columns);
+
+  /// Appends one row; pads or truncates to the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Pretty-prints with aligned columns.
+  void Print(std::ostream& os) const;
+
+  /// Comma-separated output (header + rows).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Number of data rows.
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits.
+std::string FormatDouble(double value, int digits = 1);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_REPORT_H_

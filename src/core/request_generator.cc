@@ -1,0 +1,44 @@
+#include "core/request_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace airindex {
+
+RequestGenerator::RequestGenerator(const Dataset* dataset,
+                                   double data_availability,
+                                   double mean_interval_bytes, Rng rng,
+                                   double zipf_theta)
+    : dataset_(dataset),
+      data_availability_(data_availability),
+      mean_interval_bytes_(mean_interval_bytes),
+      rng_(rng) {
+  if (zipf_theta > 0.0) {
+    zipf_.emplace(dataset->size(), zipf_theta);
+  }
+}
+
+Bytes RequestGenerator::NextInterArrival() {
+  const double draw = rng_.NextExponential(mean_interval_bytes_);
+  return std::max<Bytes>(1, static_cast<Bytes>(std::llround(draw)));
+}
+
+Query RequestGenerator::NextQuery() {
+  Query query;
+  query.on_air = rng_.NextBernoulli(data_availability_);
+  if (query.on_air) {
+    const int index =
+        zipf_.has_value()
+            ? zipf_->Sample(&rng_)
+            : static_cast<int>(rng_.NextBounded(
+                  static_cast<std::uint64_t>(dataset_->size())));
+    query.key = dataset_->record(index).key;
+  } else {
+    const auto index = static_cast<int>(
+        rng_.NextBounded(static_cast<std::uint64_t>(dataset_->size() + 1)));
+    query.key = dataset_->AbsentKey(index);
+  }
+  return query;
+}
+
+}  // namespace airindex

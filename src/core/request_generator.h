@@ -1,0 +1,54 @@
+#ifndef AIRINDEX_CORE_REQUEST_GENERATOR_H_
+#define AIRINDEX_CORE_REQUEST_GENERATOR_H_
+
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "data/dataset.h"
+#include "des/random.h"
+#include "des/zipf.h"
+
+namespace airindex {
+
+/// One generated user request.
+struct Query {
+  /// The key the mobile client asks for.
+  std::string key;
+  /// Whether the key is actually on the broadcast (by construction).
+  bool on_air = false;
+};
+
+/// The testbed's RequestGenerator (paper Section 3): produces requests
+/// "periodically based on certain distribution ... the request generation
+/// process follows exponential distribution".
+///
+/// Keys are drawn from the broadcast records with probability
+/// `data_availability`, otherwise uniformly from the dataset's
+/// guaranteed-absent keys (which interleave the present ones, so misses
+/// walk the same index paths as hits). Present keys are uniform by
+/// default; with zipf_theta > 0 they follow Zipf(theta) by record rank —
+/// the skewed-popularity extension used with broadcast disks.
+class RequestGenerator {
+ public:
+  RequestGenerator(const Dataset* dataset, double data_availability,
+                   double mean_interval_bytes, Rng rng,
+                   double zipf_theta = 0.0);
+
+  /// Bytes until the next request arrives (exponential draw, >= 1).
+  Bytes NextInterArrival();
+
+  /// Draws the next query.
+  Query NextQuery();
+
+ private:
+  const Dataset* dataset_;
+  double data_availability_;
+  double mean_interval_bytes_;
+  Rng rng_;
+  std::optional<ZipfDistribution> zipf_;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_REQUEST_GENERATOR_H_

@@ -1,0 +1,35 @@
+#include "core/result_handler.h"
+
+namespace airindex {
+
+void ResultHandler::Add(const AccessResult& result, bool expected_on_air) {
+  const auto access = static_cast<double>(result.access_time);
+  const auto tuning = static_cast<double>(result.tuning_time);
+  access_.Add(access);
+  tuning_.Add(tuning);
+  probes_.Add(static_cast<double>(result.probes));
+  access_histogram_.Add(result.access_time);
+  tuning_histogram_.Add(result.tuning_time);
+  round_access_.Add(access);
+  round_tuning_.Add(tuning);
+  if (result.found) ++found_;
+  if (result.abandoned) ++abandoned_;
+  false_drops_ += result.false_drops;
+  anomalies_ += result.anomalies;
+  // An abandoned request legitimately misses an on-air record.
+  if (!result.abandoned && result.found != expected_on_air) {
+    ++outcome_mismatches_;
+  }
+}
+
+ResultHandler::RoundStats ResultHandler::CloseRound() {
+  RoundStats stats;
+  stats.access_mean = round_access_.mean();
+  stats.tuning_mean = round_tuning_.mean();
+  stats.requests = round_access_.count();
+  round_access_ = RunningStats();
+  round_tuning_ = RunningStats();
+  return stats;
+}
+
+}  // namespace airindex

@@ -1,0 +1,68 @@
+#ifndef AIRINDEX_CORE_RESULT_HANDLER_H_
+#define AIRINDEX_CORE_RESULT_HANDLER_H_
+
+#include <cstdint>
+
+#include "schemes/access.h"
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
+
+namespace airindex {
+
+/// The testbed's ResultHandler (paper Section 3): "extracts and processes
+/// the simulation results".
+///
+/// Accumulates per-request access/tuning samples overall and within the
+/// current round; the AccuracyController consumes the round means.
+class ResultHandler {
+ public:
+  ResultHandler() = default;
+
+  /// Records one completed request.
+  void Add(const AccessResult& result, bool expected_on_air);
+
+  /// Closes the current round, returning (and resetting) its stats.
+  struct RoundStats {
+    double access_mean = 0.0;
+    double tuning_mean = 0.0;
+    std::int64_t requests = 0;
+  };
+  RoundStats CloseRound();
+
+  /// Requests recorded in the currently open round.
+  std::int64_t round_size() const { return round_access_.count(); }
+
+  /// Whole-run aggregates.
+  const RunningStats& access() const { return access_; }
+  const RunningStats& tuning() const { return tuning_; }
+  const RunningStats& probes() const { return probes_; }
+  /// Full distributions, for tail percentiles.
+  const Histogram& access_histogram() const { return access_histogram_; }
+  const Histogram& tuning_histogram() const { return tuning_histogram_; }
+  std::int64_t requests() const { return access_.count(); }
+  std::int64_t found() const { return found_; }
+  std::int64_t abandoned() const { return abandoned_; }
+  std::int64_t false_drops() const { return false_drops_; }
+  std::int64_t anomalies() const { return anomalies_; }
+  /// Requests whose found/absent outcome contradicted the generator's
+  /// expectation — 0 on a correct scheme implementation.
+  std::int64_t outcome_mismatches() const { return outcome_mismatches_; }
+
+ private:
+  RunningStats access_;
+  RunningStats tuning_;
+  RunningStats probes_;
+  Histogram access_histogram_;
+  Histogram tuning_histogram_;
+  RunningStats round_access_;
+  RunningStats round_tuning_;
+  std::int64_t found_ = 0;
+  std::int64_t abandoned_ = 0;
+  std::int64_t false_drops_ = 0;
+  std::int64_t anomalies_ = 0;
+  std::int64_t outcome_mismatches_ = 0;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_RESULT_HANDLER_H_

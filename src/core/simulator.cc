@@ -1,0 +1,156 @@
+#include "core/simulator.h"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/accuracy_controller.h"
+#include "core/broadcast_server.h"
+#include "core/deadline.h"
+#include "core/error_model.h"
+#include "core/request_generator.h"
+#include "core/result_handler.h"
+#include "data/dataset.h"
+#include "des/random.h"
+#include "des/simulation.h"
+
+namespace airindex {
+
+namespace {
+
+Status ValidateConfig(const TestbedConfig& config) {
+  if (config.dataset == nullptr && config.num_records <= 0) {
+    return Status::InvalidArgument("num_records must be positive");
+  }
+  if (config.dataset != nullptr && config.dataset->size() == 0) {
+    return Status::InvalidArgument("external dataset is empty");
+  }
+  if (config.data_availability < 0.0 || config.data_availability > 1.0) {
+    return Status::InvalidArgument("data_availability must be in [0,1]");
+  }
+  if (config.mean_request_interval_bytes <= 0.0) {
+    return Status::InvalidArgument("mean request interval must be positive");
+  }
+  if (config.deadline.access_deadline_bytes < 0) {
+    return Status::InvalidArgument("deadline must be non-negative");
+  }
+  if (config.zipf_theta < 0.0) {
+    return Status::InvalidArgument("zipf_theta must be non-negative");
+  }
+  if (config.error_model.bucket_error_rate < 0.0 ||
+      config.error_model.bucket_error_rate >= 1.0) {
+    return Status::InvalidArgument("bucket error rate must be in [0,1)");
+  }
+  if (config.requests_per_round <= 0) {
+    return Status::InvalidArgument("requests_per_round must be positive");
+  }
+  if (config.confidence_level <= 0.0 || config.confidence_level >= 1.0) {
+    return Status::InvalidArgument("confidence level must be in (0,1)");
+  }
+  if (config.confidence_accuracy <= 0.0) {
+    return Status::InvalidArgument("confidence accuracy must be positive");
+  }
+  if (config.min_rounds < 1 || config.max_rounds < config.min_rounds) {
+    return Status::InvalidArgument("bad round bounds");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
+  if (Status s = ValidateConfig(config); !s.ok()) return s;
+
+  // --- Initialization stage (paper Section 3). ---------------------------
+  std::shared_ptr<const Dataset> dataset = config.dataset;
+  if (dataset == nullptr) {
+    DatasetConfig dataset_config;
+    dataset_config.num_records = config.num_records;
+    dataset_config.key_width = static_cast<int>(config.geometry.key_bytes);
+    dataset_config.num_attributes = config.num_attributes;
+    dataset_config.attribute_width = config.attribute_width;
+    dataset_config.seed = Mix64(config.seed ^ 0xda7a5e7dULL);
+    Result<Dataset> dataset_result = Dataset::Generate(dataset_config);
+    if (!dataset_result.ok()) return dataset_result.status();
+    dataset =
+        std::make_shared<const Dataset>(std::move(dataset_result).value());
+  }
+
+  Result<BroadcastServer> server_result = BroadcastServer::Create(
+      config.scheme, dataset, config.geometry, config.params);
+  if (!server_result.ok()) return server_result.status();
+  const BroadcastServer server = std::move(server_result).value();
+
+  Rng master(config.seed);
+  RequestGenerator generator(dataset.get(), config.data_availability,
+                             config.mean_request_interval_bytes,
+                             master.Split(), config.zipf_theta);
+  Rng error_rng = master.Split();
+  const bool unreliable = config.error_model.bucket_error_rate > 0.0;
+  ResultHandler results;
+  AccuracyController accuracy(config.confidence_level,
+                              config.confidence_accuracy);
+
+  // --- Simulation stage. --------------------------------------------------
+  Simulation simulation;
+  bool stop = false;
+
+  // Request arrival: run the access protocol (the pure "listen" walk) and
+  // schedule the completion event at the download time.
+  std::function<void()> schedule_next_arrival = [&]() {
+    simulation.ScheduleIn(generator.NextInterArrival(), [&]() {
+      const Query query = generator.NextQuery();
+      const AccessResult access = ApplyDeadline(
+          unreliable
+              ? AccessWithErrors(server.scheme(), query.key,
+                                 simulation.now(), config.error_model,
+                                 &error_rng)
+              : server.Listen(query.key, simulation.now()),
+          config.deadline);
+      simulation.ScheduleIn(access.access_time, [&, access, query]() {
+        results.Add(access, query.on_air);
+        if (results.round_size() >= config.requests_per_round) {
+          const ResultHandler::RoundStats round = results.CloseRound();
+          accuracy.AddRound(round.access_mean, round.tuning_mean);
+          const bool enough_rounds = accuracy.rounds() >= config.min_rounds;
+          const bool capped = accuracy.rounds() >= config.max_rounds;
+          if ((enough_rounds && accuracy.Satisfied()) || capped) stop = true;
+        }
+      });
+      if (!stop) schedule_next_arrival();
+    });
+  };
+  schedule_next_arrival();
+  simulation.Run([&]() { return stop; });
+
+  // --- End stage. ----------------------------------------------------------
+  SimulationResult result;
+  result.access = results.access();
+  result.tuning = results.tuning();
+  result.probes = results.probes();
+  result.access_histogram = results.access_histogram();
+  result.tuning_histogram = results.tuning_histogram();
+  result.requests = results.requests();
+  result.rounds = accuracy.rounds();
+  result.converged = accuracy.Satisfied();
+  result.access_check = accuracy.access_check();
+  result.tuning_check = accuracy.tuning_check();
+  result.found = results.found();
+  result.abandoned = results.abandoned();
+  result.false_drops = results.false_drops();
+  result.anomalies = results.anomalies();
+  result.outcome_mismatches = results.outcome_mismatches();
+
+  const Channel& channel = server.channel();
+  result.cycle_bytes = channel.cycle_bytes();
+  result.num_buckets = static_cast<std::int64_t>(channel.num_buckets());
+  result.num_index_buckets =
+      static_cast<std::int64_t>(channel.num_index_buckets());
+  result.num_signature_buckets =
+      static_cast<std::int64_t>(channel.num_signature_buckets());
+  result.num_data_buckets =
+      static_cast<std::int64_t>(channel.num_data_buckets());
+  return result;
+}
+
+}  // namespace airindex

@@ -1,0 +1,67 @@
+#ifndef AIRINDEX_CORE_SIMULATOR_H_
+#define AIRINDEX_CORE_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "core/testbed_config.h"
+#include "stats/confidence.h"
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
+
+namespace airindex {
+
+/// Aggregate outcome of one simulation run.
+struct SimulationResult {
+  /// Per-request metrics in bytes.
+  RunningStats access;
+  RunningStats tuning;
+  RunningStats probes;
+  /// Full per-request distributions (tail percentiles).
+  Histogram access_histogram;
+  Histogram tuning_histogram;
+
+  /// Run accounting.
+  std::int64_t requests = 0;
+  int rounds = 0;
+  /// True when the accuracy controller's stopping rule was met (false
+  /// means the max_rounds cap fired first).
+  bool converged = false;
+  /// Final confidence checks over round means.
+  ConfidenceCheck access_check;
+  ConfidenceCheck tuning_check;
+
+  /// Outcome counters.
+  std::int64_t found = 0;
+  std::int64_t abandoned = 0;
+  std::int64_t false_drops = 0;
+  std::int64_t anomalies = 0;
+  std::int64_t outcome_mismatches = 0;
+
+  /// Channel shape, for reporting.
+  Bytes cycle_bytes = 0;
+  std::int64_t num_buckets = 0;
+  std::int64_t num_index_buckets = 0;
+  std::int64_t num_signature_buckets = 0;
+  std::int64_t num_data_buckets = 0;
+
+  /// found / requests.
+  double found_rate() const {
+    return requests > 0
+               ? static_cast<double>(found) / static_cast<double>(requests)
+               : 0.0;
+  }
+};
+
+/// The testbed's Simulator (paper Section 3): "acts as the coordinator of
+/// the whole simulation process" — builds the data source and broadcast
+/// server, starts the request generator, runs the discrete-event loop,
+/// and stops when the accuracy controller is satisfied.
+///
+/// RunTestbed is the one-call entry point the benches and examples use.
+Result<SimulationResult> RunTestbed(const TestbedConfig& config);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_SIMULATOR_H_

@@ -1,0 +1,28 @@
+#ifndef AIRINDEX_DATA_RECORD_H_
+#define AIRINDEX_DATA_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace airindex {
+
+/// One broadcast data item (paper Section 3, "Record"): a primary key and
+/// a few non-key attributes.
+///
+/// The *logical* size of a record on the channel is fixed by
+/// BucketGeometry::record_bytes (the paper's 500-byte records); the
+/// strings held here are only the parts the protocols actually inspect
+/// (key comparisons, signature generation), not 500 bytes of payload.
+struct Record {
+  /// Dense index of the record in key order (0-based).
+  std::uint64_t id = 0;
+  /// Primary key: fixed-width, lexicographically ordered.
+  std::string key;
+  /// Non-key attribute values (used by signature generation).
+  std::vector<std::string> attributes;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_DATA_RECORD_H_

@@ -1,0 +1,45 @@
+#include "des/event_queue.h"
+
+#include <utility>
+
+namespace airindex {
+
+EventId EventQueue::Schedule(Bytes when, Callback callback) {
+  const EventId id = next_id_++;
+  cancelled_.push_back(false);
+  heap_.push(Entry{when, id, std::move(callback)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id]) return false;
+  cancelled_[id] = true;
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipDead() {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+    heap_.pop();
+  }
+}
+
+Bytes EventQueue::PeekTime() {
+  SkipDead();
+  return heap_.top().when;
+}
+
+Bytes EventQueue::RunNext() {
+  SkipDead();
+  // Move the entry out before running: the callback may schedule more
+  // events and reshuffle the heap.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  cancelled_[entry.id] = true;
+  --live_count_;
+  entry.callback();
+  return entry.when;
+}
+
+}  // namespace airindex

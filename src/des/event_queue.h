@@ -1,0 +1,74 @@
+#ifndef AIRINDEX_DES_EVENT_QUEUE_H_
+#define AIRINDEX_DES_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace airindex {
+
+/// Handle identifying a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// A time-ordered queue of callbacks — the heart of the discrete-event
+/// engine. Ties are broken by insertion order (FIFO among simultaneous
+/// events), which keeps runs deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `callback` to fire at absolute simulated time `when`.
+  /// `when` must not be in the past relative to the last popped event.
+  /// Returns an id usable with Cancel().
+  EventId Schedule(Bytes when, Callback callback);
+
+  /// Cancels a scheduled event. Cancelling an already-fired or unknown id
+  /// is a no-op. Returns true if the event was pending and is now dead.
+  bool Cancel(EventId id);
+
+  /// True if no live events remain.
+  bool empty() const { return live_count_ == 0; }
+
+  /// Number of live (scheduled, uncancelled, unfired) events.
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Must not be called when empty.
+  Bytes PeekTime();
+
+  /// Pops and runs the earliest live event; returns its time.
+  /// Must not be called when empty.
+  Bytes RunNext();
+
+ private:
+  struct Entry {
+    Bytes when;
+    EventId id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // ids are monotone, so this is FIFO.
+    }
+  };
+
+  /// Drops cancelled entries from the front of the heap.
+  void SkipDead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<bool> cancelled_;  // indexed by EventId
+  EventId next_id_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_DES_EVENT_QUEUE_H_

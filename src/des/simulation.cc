@@ -1,0 +1,27 @@
+#include "des/simulation.h"
+
+namespace airindex {
+
+std::size_t Simulation::Run(const std::function<bool()>& stop_requested) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (stop_requested && stop_requested()) break;
+    now_ = queue_.PeekTime();
+    queue_.RunNext();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulation::RunUntil(Bytes until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.PeekTime() <= until) {
+    now_ = queue_.PeekTime();
+    queue_.RunNext();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace airindex

@@ -1,0 +1,59 @@
+#ifndef AIRINDEX_DES_SIMULATION_H_
+#define AIRINDEX_DES_SIMULATION_H_
+
+#include <functional>
+
+#include "common/types.h"
+#include "des/event_queue.h"
+
+namespace airindex {
+
+/// The discrete-event simulation loop: a clock plus an event queue.
+///
+/// The testbed (paper Section 3) treats "the broadcasting of each data
+/// item, generation of each user request and processing of the request"
+/// as separate events. Simulation owns the clock; components schedule
+/// callbacks at future times and the loop runs them in order.
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time (bytes broadcast since the run started).
+  Bytes now() const { return now_; }
+
+  /// Schedules `callback` to run `delay` units from now (delay >= 0).
+  EventId ScheduleIn(Bytes delay, EventQueue::Callback callback) {
+    return queue_.Schedule(now_ + delay, std::move(callback));
+  }
+
+  /// Schedules `callback` at absolute time `when` (>= now()).
+  EventId ScheduleAt(Bytes when, EventQueue::Callback callback) {
+    return queue_.Schedule(when, std::move(callback));
+  }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  /// Runs events until the queue drains or `stop_requested` returns true.
+  /// The predicate is checked between events. Returns the number of events
+  /// executed.
+  std::size_t Run(const std::function<bool()>& stop_requested = nullptr);
+
+  /// Runs events until simulated time would exceed `until` (events at
+  /// exactly `until` still run). Returns the number of events executed.
+  std::size_t RunUntil(Bytes until);
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Bytes now_ = 0;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_DES_SIMULATION_H_

@@ -1,0 +1,34 @@
+#include "des/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace airindex {
+
+ZipfDistribution::ZipfDistribution(int n, double theta)
+    : n_(std::max(n, 1)), theta_(std::max(theta, 0.0)) {
+  cumulative_.resize(static_cast<std::size_t>(n_));
+  double total = 0.0;
+  for (int k = 0; k < n_; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta_);
+    cumulative_[static_cast<std::size_t>(k)] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+int ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<int>(it - cumulative_.begin());
+}
+
+double ZipfDistribution::Probability(int k) const {
+  if (k < 0 || k >= n_) return 0.0;
+  const double lo =
+      k == 0 ? 0.0 : cumulative_[static_cast<std::size_t>(k - 1)];
+  return cumulative_[static_cast<std::size_t>(k)] - lo;
+}
+
+}  // namespace airindex

@@ -1,0 +1,40 @@
+#ifndef AIRINDEX_DES_ZIPF_H_
+#define AIRINDEX_DES_ZIPF_H_
+
+#include <vector>
+
+#include "des/random.h"
+
+namespace airindex {
+
+/// Zipf(theta) sampler over ranks 0..n-1 (rank 0 hottest):
+/// P(rank k) proportional to 1 / (k+1)^theta. theta = 0 degenerates to
+/// the uniform distribution; theta around 0.8–1.0 models the skewed
+/// request popularity used throughout the broadcast-scheduling
+/// literature (Acharya et al.'s broadcast disks).
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table:
+/// O(n) construction, O(log n) per draw, exact probabilities.
+class ZipfDistribution {
+ public:
+  /// `n` >= 1 ranks, `theta` >= 0.
+  ZipfDistribution(int n, double theta);
+
+  /// Draws a rank in [0, n).
+  int Sample(Rng* rng) const;
+
+  /// Probability of rank k.
+  double Probability(int k) const;
+
+  int n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  int n_;
+  double theta_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_DES_ZIPF_H_

@@ -1,0 +1,63 @@
+#ifndef AIRINDEX_SCHEMES_ACCESS_H_
+#define AIRINDEX_SCHEMES_ACCESS_H_
+
+#include <string_view>
+
+#include "common/types.h"
+#include "broadcast/channel.h"
+
+namespace airindex {
+
+/// Outcome of one client access-protocol run.
+///
+/// Both times are in bytes (== simulated time units). Following the
+/// paper's formulas, the initial wait — the partial bucket between tune-in
+/// and the first complete bucket — is charged to BOTH access time and
+/// tuning time (the client is listening while it waits for a boundary).
+struct AccessResult {
+  /// True when the requested record was downloaded.
+  bool found = false;
+  /// At: elapsed bytes from tune-in to download completion (or to the
+  /// point where the protocol concluded the record is not on air).
+  Bytes access_time = 0;
+  /// Tt: bytes actually listened to.
+  Bytes tuning_time = 0;
+  /// Number of buckets fully read.
+  int probes = 0;
+  /// Signature schemes: data buckets downloaded due to signature
+  /// collisions ("false drops").
+  int false_drops = 0;
+  /// Protocol anomalies (stale pointer dereferences, loop-guard trips).
+  /// Always 0 for a well-formed channel; tests assert this.
+  int anomalies = 0;
+  /// True when a deadline policy truncated the request (the client gave
+  /// up; found is false regardless of whether the record was on air).
+  bool abandoned = false;
+};
+
+/// A fully built broadcast program: the channel for one cycle plus the
+/// scheme's client access protocol.
+///
+/// Access() is a pure function of (key, tune-in time): it performs the
+/// paper's access protocol for the scheme against the periodic channel
+/// and reports the two metrics. Purity keeps protocols unit-testable and
+/// lets the discrete-event testbed treat a request as two events
+/// (arrival, completion) instead of thousands of per-bucket events.
+class BroadcastScheme {
+ public:
+  virtual ~BroadcastScheme() = default;
+
+  /// The broadcast cycle.
+  virtual const Channel& channel() const = 0;
+
+  /// Runs the access protocol for `key`, tuning in at absolute time
+  /// `tune_in`.
+  virtual AccessResult Access(std::string_view key, Bytes tune_in) const = 0;
+
+  /// Human-readable scheme name ("distributed indexing", ...).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_SCHEMES_ACCESS_H_

@@ -1,0 +1,190 @@
+#include "schemes/broadcast_disks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace airindex {
+
+BroadcastDisks::BroadcastDisks(std::shared_ptr<const Dataset> dataset,
+                               BroadcastDisksParams params, Channel channel,
+                               std::vector<std::vector<Bytes>> occurrences,
+                               std::vector<int> disk_of)
+    : dataset_(std::move(dataset)),
+      params_(std::move(params)),
+      channel_(std::move(channel)),
+      occurrences_(std::move(occurrences)),
+      disk_of_(std::move(disk_of)) {}
+
+Result<BroadcastDisks> BroadcastDisks::Build(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    BroadcastDisksParams params) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("broadcast disks need a non-empty dataset");
+  }
+  const std::size_t num_disks = params.disk_fractions.size();
+  if (num_disks == 0 || params.disk_frequencies.size() != num_disks) {
+    return Status::InvalidArgument(
+        "disk_fractions and disk_frequencies must be non-empty and match");
+  }
+  double fraction_sum = 0.0;
+  for (const double f : params.disk_fractions) {
+    if (f <= 0.0) {
+      return Status::InvalidArgument("disk fractions must be positive");
+    }
+    fraction_sum += f;
+  }
+  if (std::fabs(fraction_sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("disk fractions must sum to 1");
+  }
+  const int max_freq = params.disk_frequencies.front();
+  for (std::size_t d = 0; d < num_disks; ++d) {
+    const int freq = params.disk_frequencies[d];
+    if (freq <= 0 || freq > max_freq || max_freq % freq != 0) {
+      return Status::InvalidArgument(
+          "disk frequencies must be positive, non-increasing, and divide "
+          "the hottest disk's frequency");
+    }
+    if (d > 0 && freq > params.disk_frequencies[d - 1]) {
+      return Status::InvalidArgument("disk frequencies must be non-increasing");
+    }
+  }
+  const int num_records = dataset->size();
+  if (num_records < static_cast<int>(num_disks)) {
+    return Status::InvalidArgument("need at least one record per disk");
+  }
+
+  // Record ranges per disk, by cumulative fraction (at least one each).
+  std::vector<int> disk_begin(num_disks + 1, 0);
+  double cumulative = 0.0;
+  for (std::size_t d = 0; d < num_disks; ++d) {
+    cumulative += params.disk_fractions[d];
+    disk_begin[d + 1] = std::clamp(
+        static_cast<int>(std::lround(cumulative * num_records)),
+        disk_begin[d] + 1, num_records - static_cast<int>(num_disks - d - 1));
+  }
+  disk_begin[num_disks] = num_records;
+
+  std::vector<int> disk_of(static_cast<std::size_t>(num_records), 0);
+  for (std::size_t d = 0; d < num_disks; ++d) {
+    for (int r = disk_begin[d]; r < disk_begin[d + 1]; ++r) {
+      disk_of[static_cast<std::size_t>(r)] = static_cast<int>(d);
+    }
+  }
+
+  // Chunk each disk into max_freq / freq_d contiguous chunks.
+  struct Chunk {
+    int first;
+    int last;  // inclusive
+  };
+  std::vector<std::vector<Chunk>> chunks(num_disks);
+  for (std::size_t d = 0; d < num_disks; ++d) {
+    const int num_chunks = max_freq / params.disk_frequencies[d];
+    const int size = disk_begin[d + 1] - disk_begin[d];
+    chunks[d].reserve(static_cast<std::size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c) {
+      // Balanced split; empty chunks are allowed for tiny disks.
+      const int first =
+          disk_begin[d] + static_cast<int>(
+                              static_cast<std::int64_t>(c) * size / num_chunks);
+      const int last =
+          disk_begin[d] +
+          static_cast<int>(static_cast<std::int64_t>(c + 1) * size /
+                           num_chunks) -
+          1;
+      chunks[d].push_back(Chunk{first, last});
+    }
+  }
+
+  // Major cycle: minor cycle i carries chunk (i mod chunks_d) of disk d.
+  const Bytes bucket_bytes = geometry.data_bucket_bytes();
+  std::vector<Bucket> buckets;
+  std::vector<std::vector<Bytes>> occurrences(
+      static_cast<std::size_t>(num_records));
+  for (int minor = 0; minor < max_freq; ++minor) {
+    for (std::size_t d = 0; d < num_disks; ++d) {
+      const Chunk& chunk =
+          chunks[d][static_cast<std::size_t>(minor) % chunks[d].size()];
+      for (int r = chunk.first; r <= chunk.last; ++r) {
+        occurrences[static_cast<std::size_t>(r)].push_back(
+            static_cast<Bytes>(buckets.size()) * bucket_bytes);
+        Bucket bucket;
+        bucket.kind = BucketKind::kData;
+        bucket.size = bucket_bytes;
+        bucket.record_id = r;
+        buckets.push_back(std::move(bucket));
+      }
+    }
+  }
+
+  Result<Channel> channel = Channel::Create(std::move(buckets));
+  if (!channel.ok()) return channel.status();
+  return BroadcastDisks(std::move(dataset), std::move(params),
+                        std::move(channel).value(), std::move(occurrences),
+                        std::move(disk_of));
+}
+
+int BroadcastDisks::OccurrencesOf(int record) const {
+  return static_cast<int>(occurrences_[static_cast<std::size_t>(record)].size());
+}
+
+int BroadcastDisks::DiskOf(int record) const {
+  return disk_of_[static_cast<std::size_t>(record)];
+}
+
+AccessResult BroadcastDisks::Access(std::string_view key,
+                                    Bytes tune_in) const {
+  const Bytes dt = channel_.bucket(0).size;
+  const Bytes cycle = channel_.cycle_bytes();
+  const auto num = static_cast<Bytes>(channel_.num_buckets());
+
+  AccessResult result;
+  const Bytes boundary = channel_.NextBoundaryTime(tune_in);
+  const Bytes wait = boundary - tune_in;
+  const Bytes phase = boundary % cycle;
+
+  const int target = dataset_->FindIndex(key);
+  Bytes buckets_read;
+  if (target >= 0) {
+    const std::vector<Bytes>& occ =
+        occurrences_[static_cast<std::size_t>(target)];
+    const auto it = std::lower_bound(occ.begin(), occ.end(), phase);
+    const Bytes next = it != occ.end() ? *it : occ.front() + cycle;
+    buckets_read = (next - phase) / dt + 1;
+    result.found = true;
+  } else {
+    // Absence is certain only after a full major cycle.
+    buckets_read = num;
+  }
+  result.access_time = wait + buckets_read * dt;
+  result.tuning_time = result.access_time;
+  result.probes = static_cast<int>(buckets_read);
+  return result;
+}
+
+AccessResult BroadcastDisks::AccessReference(std::string_view key,
+                                             Bytes tune_in) const {
+  AccessResult result;
+  Bytes t = channel_.NextBoundaryTime(tune_in);
+  result.tuning_time = t - tune_in;
+  const auto num = channel_.num_buckets();
+  std::size_t i = channel_.BucketAtPhase(t % channel_.cycle_bytes());
+  for (std::size_t scanned = 0; scanned < num; ++scanned) {
+    const Bucket& bucket = channel_.bucket(i);
+    t += bucket.size;
+    result.tuning_time += bucket.size;
+    ++result.probes;
+    const Record& record =
+        dataset_->record(static_cast<int>(bucket.record_id));
+    if (record.key == key) {
+      result.found = true;
+      break;
+    }
+    i = (i + 1) % num;
+  }
+  result.access_time = t - tune_in;
+  return result;
+}
+
+}  // namespace airindex

@@ -1,0 +1,106 @@
+#include "schemes/btree.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace airindex {
+
+Result<BTree> BTree::Build(int num_records, int fanout) {
+  if (num_records <= 0) {
+    return Status::InvalidArgument("BTree needs at least one record");
+  }
+  if (fanout < 2) {
+    return Status::InvalidArgument("BTree fanout must be at least 2");
+  }
+
+  BTree tree;
+  tree.fanout_ = fanout;
+  tree.num_records_ = num_records;
+
+  // Level 0: leaves, each covering up to `fanout` consecutive records.
+  std::vector<int> current_level;
+  for (int first = 0; first < num_records; first += fanout) {
+    BTreeNode leaf;
+    leaf.level = 0;
+    leaf.first_record = first;
+    leaf.last_record = std::min(first + fanout, num_records) - 1;
+    for (int r = leaf.first_record; r <= leaf.last_record; ++r) {
+      leaf.children.push_back(r);
+    }
+    current_level.push_back(static_cast<int>(tree.nodes_.size()));
+    tree.nodes_.push_back(std::move(leaf));
+  }
+
+  // Upper levels: group up to `fanout` children per node until one root.
+  int level = 0;
+  while (current_level.size() > 1) {
+    ++level;
+    std::vector<int> next_level;
+    for (std::size_t first = 0; first < current_level.size();
+         first += static_cast<std::size_t>(fanout)) {
+      const std::size_t last = std::min(
+          first + static_cast<std::size_t>(fanout), current_level.size());
+      BTreeNode node;
+      node.level = level;
+      node.children.assign(current_level.begin() + static_cast<long>(first),
+                           current_level.begin() + static_cast<long>(last));
+      node.first_record = tree.nodes_[static_cast<std::size_t>(
+                                          node.children.front())]
+                              .first_record;
+      node.last_record =
+          tree.nodes_[static_cast<std::size_t>(node.children.back())]
+              .last_record;
+      const int id = static_cast<int>(tree.nodes_.size());
+      for (const int child : node.children) {
+        tree.nodes_[static_cast<std::size_t>(child)].parent = id;
+      }
+      next_level.push_back(id);
+      tree.nodes_.push_back(std::move(node));
+    }
+    current_level = std::move(next_level);
+  }
+
+  tree.root_ = current_level.front();
+  tree.height_ = tree.nodes_[static_cast<std::size_t>(tree.root_)].level + 1;
+  for (BTreeNode& node : tree.nodes_) {
+    node.depth = tree.height_ - 1 - node.level;
+  }
+  return tree;
+}
+
+std::vector<int> BTree::NodesAtDepth(int depth) const {
+  std::vector<int> out;
+  // Preorder from the root keeps the result in key order.
+  for (const int id : PreorderSubtree(root_)) {
+    if (node(id).depth == depth) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<int> BTree::PreorderSubtree(int id) const {
+  std::vector<int> out;
+  std::vector<int> stack = {id};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    const BTreeNode& n = node(v);
+    if (n.level > 0) {
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> BTree::Ancestors(int id) const {
+  std::vector<int> out;
+  for (int p = node(id).parent; p != -1; p = node(p).parent) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace airindex

@@ -1,0 +1,84 @@
+#ifndef AIRINDEX_SCHEMES_BTREE_H_
+#define AIRINDEX_SCHEMES_BTREE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace airindex {
+
+/// One node of the broadcast B+ index tree.
+struct BTreeNode {
+  /// Level counted from the leaves: 0 = leaf (children are record ids).
+  int level = 0;
+  /// Depth counted from the root: 0 = root.
+  int depth = 0;
+  /// Inclusive range of dataset record indices covered by the subtree.
+  int first_record = 0;
+  int last_record = 0;
+  /// Child node ids (level > 0) or record indices (level == 0), in key
+  /// order.
+  std::vector<int> children;
+  /// Parent node id; -1 for the root.
+  int parent = -1;
+};
+
+/// The index tree shared by (1,m) indexing and distributed indexing
+/// (paper Section 2.1, Figure 1).
+///
+/// Built bottom-up over the key-sorted record sequence with a fixed
+/// fanout n (= BucketGeometry::index_fanout()): each leaf indexes up to n
+/// consecutive records, each upper node up to n consecutive children,
+/// up to a single root. Node ids are stable indices into nodes().
+class BTree {
+ public:
+  /// Builds a tree over `num_records` records with the given fanout.
+  /// Fails on num_records <= 0 or fanout < 2.
+  static Result<BTree> Build(int num_records, int fanout);
+
+  /// All nodes; children always precede parents in this vector.
+  const std::vector<BTreeNode>& nodes() const { return nodes_; }
+
+  /// The node with the given id.
+  const BTreeNode& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  /// Id of the root node.
+  int root() const { return root_; }
+
+  /// k: the number of index levels (a lone root tree has height 1).
+  int height() const { return height_; }
+
+  /// The fanout n the tree was built with.
+  int fanout() const { return fanout_; }
+
+  /// Number of records indexed.
+  int num_records() const { return num_records_; }
+
+  /// Ids of all nodes at `depth` from the root (0 = just the root), in
+  /// key order. These are the data-segment roots of distributed indexing
+  /// when depth == r.
+  std::vector<int> NodesAtDepth(int depth) const;
+
+  /// Ids of the subtree rooted at `id` in preorder (node before its
+  /// children) — the broadcast order of an index segment.
+  std::vector<int> PreorderSubtree(int id) const;
+
+  /// Ids of the ancestors of `id`, nearest first (parent, grandparent,
+  /// ..., root).
+  std::vector<int> Ancestors(int id) const;
+
+ private:
+  BTree() = default;
+
+  std::vector<BTreeNode> nodes_;
+  int root_ = -1;
+  int height_ = 0;
+  int fanout_ = 0;
+  int num_records_ = 0;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_SCHEMES_BTREE_H_

@@ -1,0 +1,25 @@
+#ifndef AIRINDEX_SCHEMES_ENTRY_SEARCH_H_
+#define AIRINDEX_SCHEMES_ENTRY_SEARCH_H_
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "broadcast/bucket.h"
+
+namespace airindex {
+
+/// Finds the entry whose [key_lo, key_hi] range covers `key`, or nullptr.
+/// Entries must be sorted by key range (as all builders emit them).
+inline const PointerEntry* FindCoveringEntry(
+    const std::vector<PointerEntry>& entries, std::string_view key) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const PointerEntry& e, std::string_view k) { return e.key_hi < k; });
+  if (it == entries.end() || it->key_lo > key) return nullptr;
+  return &*it;
+}
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_SCHEMES_ENTRY_SEARCH_H_

@@ -1,0 +1,30 @@
+#ifndef AIRINDEX_SCHEMES_FILTER_H_
+#define AIRINDEX_SCHEMES_FILTER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace airindex {
+
+/// Outcome of an attribute-filtering pass over one broadcast cycle
+/// ("power efficient filtering of data on air", the capability the
+/// signature family was designed for: a query on *any* attribute, not
+/// just the primary key, which B+-tree air indexes cannot serve).
+struct FilterResult {
+  /// Dataset record indices that actually carry the value.
+  std::vector<int> matches;
+  /// Downloads whose record did not carry the value.
+  int false_drops = 0;
+  /// Bytes elapsed from tune-in until the pass completed (one cycle).
+  Bytes access_time = 0;
+  /// Bytes listened to.
+  Bytes tuning_time = 0;
+  /// Buckets fully read.
+  int probes = 0;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_SCHEMES_FILTER_H_

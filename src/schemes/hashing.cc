@@ -1,0 +1,154 @@
+#include "schemes/hashing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "des/random.h"
+
+namespace airindex {
+
+namespace {
+
+std::uint64_t HashString(std::string_view s) {
+  // FNV-1a, then a 64-bit mix for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+std::int64_t SimpleHashing::HashKey(std::string_view key) const {
+  return static_cast<std::int64_t>(HashString(key) %
+                                   static_cast<std::uint64_t>(allocated_));
+}
+
+Result<SimpleHashing> SimpleHashing::Build(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    double allocation_factor) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("hashing needs a non-empty dataset");
+  }
+  if (allocation_factor <= 0.0) {
+    return Status::InvalidArgument("allocation factor must be positive");
+  }
+  const int num_records = dataset->size();
+  const int allocated = std::max(
+      1, static_cast<int>(std::lround(allocation_factor * num_records)));
+
+  // Group records by slot, preserving key order within a slot.
+  std::vector<std::vector<int>> slots(static_cast<std::size_t>(allocated));
+  for (const Record& record : dataset->records()) {
+    const auto slot = static_cast<std::size_t>(
+        HashString(record.key) % static_cast<std::uint64_t>(allocated));
+    slots[slot].push_back(static_cast<int>(record.id));
+  }
+
+  // Lay out: per slot, the home bucket (first record, or empty) followed
+  // by its displaced (colliding) records. Bucket at *position* i < Na
+  // represents hash value i in its control part and stores the shift to
+  // the chain start home_pos(i) = i + displaced records of slots < i.
+  const Bytes bucket_bytes = geometry.data_bucket_bytes();
+  std::vector<Bucket> buckets;
+  std::vector<Bytes> chain_start_phase(static_cast<std::size_t>(allocated));
+  for (int slot = 0; slot < allocated; ++slot) {
+    chain_start_phase[static_cast<std::size_t>(slot)] =
+        static_cast<Bytes>(buckets.size()) * bucket_bytes;
+    const std::vector<int>& records = slots[static_cast<std::size_t>(slot)];
+    const std::size_t emitted = std::max<std::size_t>(records.size(), 1);
+    for (std::size_t i = 0; i < emitted; ++i) {
+      Bucket bucket;
+      bucket.kind = BucketKind::kData;
+      bucket.size = bucket_bytes;
+      if (i < records.size()) {
+        bucket.record_id = records[i];
+        bucket.hash_value = slot;
+      }
+      buckets.push_back(std::move(bucket));
+    }
+  }
+  // Fill the control parts positionally.
+  for (std::size_t pos = 0; pos < buckets.size(); ++pos) {
+    if (pos < static_cast<std::size_t>(allocated)) {
+      buckets[pos].slot = static_cast<std::int64_t>(pos);
+      buckets[pos].shift_phase = chain_start_phase[pos];
+    }
+  }
+
+  Result<Channel> channel = Channel::Create(std::move(buckets));
+  if (!channel.ok()) return channel.status();
+  return SimpleHashing(std::move(dataset), std::move(channel).value(),
+                       allocated);
+}
+
+AccessResult SimpleHashing::Access(std::string_view key, Bytes tune_in) const {
+  AccessResult result;
+  const Bytes dt = channel_.bucket(0).size;
+  const Bytes cycle = channel_.cycle_bytes();
+  const std::int64_t hash = HashKey(key);
+  const Bytes home_phase = static_cast<Bytes>(hash) * dt;
+
+  // Initial wait, then the first complete bucket.
+  Bytes t = channel_.NextBoundaryTime(tune_in);
+  result.tuning_time = t - tune_in;
+  const auto first_pos = static_cast<std::int64_t>(
+      channel_.BucketAtPhase(t % cycle));
+  t += dt;
+  result.tuning_time += dt;
+  ++result.probes;
+
+  // Reach the bucket at the hashing position H(K). The paper's protocol
+  // compares the hash value h carried by the first bucket against H(K);
+  // because the layout is sorted by hash value, comparing positions is
+  // equivalent (position i < Na carries hash value i in its control
+  // part). If the position already passed, wait for the next broadcast.
+  if (first_pos != hash) {
+    t = channel_.NextArrivalOfPhase(home_phase, t);
+    t += dt;
+    result.tuning_time += dt;
+    ++result.probes;
+  }
+  const Bucket& home =
+      channel_.bucket(static_cast<std::size_t>(hash));
+
+  // Follow the shift value to the chain start, then scan the chain.
+  const Bytes chain_phase = home.shift_phase;
+  std::size_t pos = channel_.BucketAtPhase(chain_phase);
+  bool current_in_hand = false;
+  if (chain_phase == home_phase) {
+    // The chain starts at the home bucket we just read.
+    current_in_hand = true;
+    pos = static_cast<std::size_t>(hash);
+  } else {
+    t = channel_.NextArrivalOfPhase(chain_phase, t);
+  }
+
+  const std::size_t num = channel_.num_buckets();
+  for (std::size_t scanned = 0; scanned < num; ++scanned) {
+    const Bucket& bucket = channel_.bucket(pos);
+    if (!current_in_hand) {
+      t += bucket.size;
+      result.tuning_time += bucket.size;
+      ++result.probes;
+    }
+    current_in_hand = false;
+    if (bucket.hash_value != hash) break;  // chain over: not on air
+    const Record& record =
+        dataset_->record(static_cast<int>(bucket.record_id));
+    if (record.key == key) {
+      result.found = true;
+      break;
+    }
+    pos = (pos + 1) % num;
+    if (pos == 0) t = channel_.NextArrivalOfPhase(0, t);
+  }
+  result.access_time = t - tune_in;
+  return result;
+}
+
+}  // namespace airindex

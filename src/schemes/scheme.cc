@@ -1,0 +1,91 @@
+#include "schemes/scheme.h"
+
+#include <utility>
+
+#include "schemes/broadcast_disks.h"
+#include "schemes/distributed.h"
+#include "schemes/flat.h"
+#include "schemes/hashing.h"
+#include "schemes/hybrid.h"
+#include "schemes/integrated_signature.h"
+#include "schemes/multilevel_signature.h"
+#include "schemes/one_m.h"
+
+namespace airindex {
+
+const char* SchemeKindToString(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kFlat:
+      return "flat broadcast";
+    case SchemeKind::kOneM:
+      return "(1,m) indexing";
+    case SchemeKind::kDistributed:
+      return "distributed indexing";
+    case SchemeKind::kHashing:
+      return "simple hashing";
+    case SchemeKind::kSignature:
+      return "signature indexing";
+    case SchemeKind::kIntegratedSignature:
+      return "integrated signature";
+    case SchemeKind::kMultiLevelSignature:
+      return "multi-level signature";
+    case SchemeKind::kBroadcastDisks:
+      return "broadcast disks";
+    case SchemeKind::kHybrid:
+      return "hybrid index+signature";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <typename T>
+Result<std::unique_ptr<BroadcastScheme>> Wrap(Result<T> built) {
+  if (!built.ok()) return built.status();
+  return std::unique_ptr<BroadcastScheme>(
+      std::make_unique<T>(std::move(built).value()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BroadcastScheme>> BuildScheme(
+    SchemeKind kind, std::shared_ptr<const Dataset> dataset,
+    const BucketGeometry& geometry, const SchemeParams& params) {
+  SignatureParams signature_params;
+  signature_params.bits_per_attribute = params.signature_bits_per_attribute;
+  switch (kind) {
+    case SchemeKind::kFlat:
+      return Wrap(FlatBroadcast::Build(std::move(dataset), geometry));
+    case SchemeKind::kOneM:
+      return Wrap(
+          OneMIndexing::Build(std::move(dataset), geometry, params.one_m_m));
+    case SchemeKind::kDistributed:
+      return Wrap(DistributedIndexing::Build(std::move(dataset), geometry,
+                                             params.distributed_r));
+    case SchemeKind::kHashing:
+      return Wrap(SimpleHashing::Build(std::move(dataset), geometry,
+                                       params.hashing_allocation_factor));
+    case SchemeKind::kSignature:
+      return Wrap(SignatureIndexing::Build(std::move(dataset), geometry,
+                                           signature_params));
+    case SchemeKind::kIntegratedSignature:
+      return Wrap(IntegratedSignatureIndexing::Build(
+          std::move(dataset), geometry, signature_params,
+          params.signature_group_size));
+    case SchemeKind::kMultiLevelSignature:
+      return Wrap(MultiLevelSignatureIndexing::Build(
+          std::move(dataset), geometry, signature_params,
+          params.signature_group_size));
+    case SchemeKind::kBroadcastDisks:
+      return Wrap(BroadcastDisks::Build(std::move(dataset), geometry,
+                                        params.broadcast_disks));
+    case SchemeKind::kHybrid:
+      return Wrap(HybridIndexing::Build(std::move(dataset), geometry,
+                                        signature_params,
+                                        params.signature_group_size,
+                                        params.hybrid_m));
+  }
+  return Status::InvalidArgument("unknown scheme kind");
+}
+
+}  // namespace airindex

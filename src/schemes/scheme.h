@@ -1,0 +1,58 @@
+#ifndef AIRINDEX_SCHEMES_SCHEME_H_
+#define AIRINDEX_SCHEMES_SCHEME_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "broadcast/geometry.h"
+#include "data/dataset.h"
+#include "schemes/access.h"
+#include "schemes/broadcast_disks.h"
+#include "schemes/signature.h"
+
+namespace airindex {
+
+/// The data access methods the testbed can evaluate.
+enum class SchemeKind {
+  kFlat,
+  kOneM,
+  kDistributed,
+  kHashing,
+  kSignature,
+  kIntegratedSignature,
+  kMultiLevelSignature,
+  kBroadcastDisks,
+  kHybrid,
+};
+
+/// Short display name ("flat broadcast", "(1,m) indexing", ...).
+const char* SchemeKindToString(SchemeKind kind);
+
+/// Per-scheme tuning knobs; defaults reproduce the paper's setup
+/// ("optimal" parameters where the paper says it used them).
+struct SchemeParams {
+  /// (1,m): index replication count; 0 = optimal m*.
+  int one_m_m = 0;
+  /// Distributed: replicated levels; -1 = access-optimal r.
+  int distributed_r = -1;
+  /// Hashing: Na = round(factor * Nr).
+  double hashing_allocation_factor = 1.0;
+  /// Signature family: bits set per attribute.
+  int signature_bits_per_attribute = 8;
+  /// Integrated/multi-level signature: records per signature group.
+  int signature_group_size = 16;
+  /// Broadcast disks: disk layout and relative frequencies.
+  BroadcastDisksParams broadcast_disks;
+  /// Hybrid index+signature: tree replication count (0 = sqrt rule).
+  int hybrid_m = 0;
+};
+
+/// Builds a ready-to-query broadcast program for `kind` over `dataset`.
+Result<std::unique_ptr<BroadcastScheme>> BuildScheme(
+    SchemeKind kind, std::shared_ptr<const Dataset> dataset,
+    const BucketGeometry& geometry, const SchemeParams& params = {});
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_SCHEMES_SCHEME_H_

@@ -1,0 +1,337 @@
+#include "schemes/signature.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "des/random.h"
+
+namespace airindex {
+
+namespace {
+
+std::uint64_t HashField(std::string_view s) {
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+SignatureGenerator::SignatureGenerator(Bytes signature_bytes,
+                                       SignatureParams params)
+    : signature_bytes_(signature_bytes),
+      words_(static_cast<int>((signature_bytes * 8 + 63) / 64)),
+      bits_(static_cast<int>(signature_bytes * 8)),
+      params_(params) {}
+
+SignatureGenerator::SignatureGenerator(const BucketGeometry& geometry,
+                                       SignatureParams params)
+    : SignatureGenerator(geometry.signature_bytes, params) {}
+
+Bytes ResolveGroupSignatureBytes(const BucketGeometry& geometry,
+                                 const SignatureParams& params,
+                                 int group_size) {
+  if (params.group_signature_bytes > 0) return params.group_signature_bytes;
+  return geometry.signature_bytes *
+         std::max<Bytes>(1, static_cast<Bytes>(group_size) / 4);
+}
+
+void SignatureGenerator::SuperimposeField(
+    std::string_view value, std::vector<std::uint64_t>* sig) const {
+  std::uint64_t h = HashField(value);
+  for (int j = 0; j < params_.bits_per_attribute; ++j) {
+    const int bit = static_cast<int>(h % static_cast<std::uint64_t>(bits_));
+    (*sig)[static_cast<std::size_t>(bit / 64)] |= 1ULL
+                                                  << (bit % 64);
+    h = Mix64(h + static_cast<std::uint64_t>(j) + 1);
+  }
+}
+
+std::vector<std::uint64_t> SignatureGenerator::RecordSignature(
+    const Record& record) const {
+  std::vector<std::uint64_t> sig(static_cast<std::size_t>(words_), 0);
+  SuperimposeField(record.key, &sig);
+  for (const std::string& attribute : record.attributes) {
+    SuperimposeField(attribute, &sig);
+  }
+  return sig;
+}
+
+std::vector<std::uint64_t> SignatureGenerator::QuerySignature(
+    std::string_view key) const {
+  std::vector<std::uint64_t> sig(static_cast<std::size_t>(words_), 0);
+  SuperimposeField(key, &sig);
+  return sig;
+}
+
+bool SignatureGenerator::Matches(const std::uint64_t* record_sig,
+                                 const std::uint64_t* query_sig, int words) {
+  for (int w = 0; w < words; ++w) {
+    if ((record_sig[w] & query_sig[w]) != query_sig[w]) return false;
+  }
+  return true;
+}
+
+SignatureIndexing::SignatureIndexing(
+    std::shared_ptr<const Dataset> dataset, SignatureGenerator generator,
+    Channel channel, std::vector<std::uint64_t> packed_signatures)
+    : dataset_(std::move(dataset)),
+      generator_(generator),
+      channel_(std::move(channel)),
+      packed_(std::move(packed_signatures)) {}
+
+Result<SignatureIndexing> SignatureIndexing::Build(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    SignatureParams params) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument(
+        "signature indexing needs a non-empty dataset");
+  }
+  if (geometry.signature_bytes <= 0) {
+    return Status::InvalidArgument("signature_bytes must be positive");
+  }
+  if (params.bits_per_attribute <= 0 ||
+      params.bits_per_attribute > geometry.signature_bytes * 8) {
+    return Status::InvalidArgument("bits_per_attribute out of range");
+  }
+
+  SignatureGenerator generator(geometry, params);
+  const int words = generator.words();
+  std::vector<std::uint64_t> packed;
+  packed.reserve(static_cast<std::size_t>(dataset->size() * words));
+
+  std::vector<Bucket> buckets;
+  buckets.reserve(static_cast<std::size_t>(2 * dataset->size()));
+  for (const Record& record : dataset->records()) {
+    std::vector<std::uint64_t> sig = generator.RecordSignature(record);
+    packed.insert(packed.end(), sig.begin(), sig.end());
+
+    Bucket sig_bucket;
+    sig_bucket.kind = BucketKind::kSignature;
+    sig_bucket.size = geometry.signature_bucket_bytes();
+    sig_bucket.record_id = static_cast<std::int64_t>(record.id);
+    sig_bucket.signature = std::move(sig);
+    buckets.push_back(std::move(sig_bucket));
+
+    Bucket data_bucket;
+    data_bucket.kind = BucketKind::kData;
+    data_bucket.size = geometry.data_bucket_bytes();
+    data_bucket.record_id = static_cast<std::int64_t>(record.id);
+    buckets.push_back(std::move(data_bucket));
+  }
+
+  Result<Channel> channel = Channel::Create(std::move(buckets));
+  if (!channel.ok()) return channel.status();
+  return SignatureIndexing(std::move(dataset), generator,
+                           std::move(channel).value(), std::move(packed));
+}
+
+int SignatureIndexing::CountMatches(const std::uint64_t* query, int first,
+                                    int count) const {
+  const int num = dataset_->size();
+  const int words = generator_.words();
+  int matches = 0;
+  int position = first;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t* sig =
+        packed_.data() + static_cast<std::size_t>(position) *
+                             static_cast<std::size_t>(words);
+    if (SignatureGenerator::Matches(sig, query, words)) ++matches;
+    if (++position == num) position = 0;
+  }
+  return matches;
+}
+
+AccessResult SignatureIndexing::Access(std::string_view key,
+                                       Bytes tune_in) const {
+  const Bytes it = channel_.bucket(0).size;   // signature bucket
+  const Bytes dt = channel_.bucket(1).size;   // data bucket
+  const Bytes period = it + dt;
+  const int pairs = dataset_->size();
+  const Bytes cycle = channel_.cycle_bytes();
+
+  AccessResult result;
+  // Listen until the next complete signature bucket.
+  const Bytes phase = tune_in % cycle;
+  const Bytes pair_index = phase / period;
+  const Bytes in_pair = phase % period;
+  Bytes wait = 0;
+  int start = static_cast<int>(pair_index);
+  if (in_pair != 0) {
+    wait = period - in_pair;
+    start = static_cast<int>((pair_index + 1) % pairs);
+  }
+  result.access_time = wait;
+  result.tuning_time = wait;
+
+  const std::vector<std::uint64_t> query = generator_.QuerySignature(key);
+  const int target = dataset_->FindIndex(key);
+  if (target >= 0) {
+    const int scanned = (target - start + pairs) % pairs + 1;
+    const int matches = CountMatches(query.data(), start, scanned);
+    result.false_drops = matches - 1;  // the target always matches
+    result.probes = scanned + matches;
+    result.tuning_time += static_cast<Bytes>(scanned) * it +
+                          static_cast<Bytes>(matches) * dt;
+    result.access_time += static_cast<Bytes>(scanned) * period;
+    result.found = true;
+    return result;
+  }
+
+  // Not on air: the client concludes only after one full cycle of
+  // signatures; every match it downloaded was a false drop.
+  const int matches = CountMatches(query.data(), start, pairs);
+  result.false_drops = matches;
+  result.probes = pairs + matches;
+  result.tuning_time +=
+      static_cast<Bytes>(pairs) * it + static_cast<Bytes>(matches) * dt;
+  const int last = (start + pairs - 1) % pairs;
+  const bool last_matched = SignatureGenerator::Matches(
+      packed_.data() + static_cast<std::size_t>(last) *
+                           static_cast<std::size_t>(generator_.words()),
+      query.data(), generator_.words());
+  result.access_time += static_cast<Bytes>(pairs - 1) * period + it +
+                        (last_matched ? dt : 0);
+  return result;
+}
+
+AccessResult SignatureIndexing::AccessReference(std::string_view key,
+                                                Bytes tune_in) const {
+  AccessResult result;
+  const Bytes cycle = channel_.cycle_bytes();
+  const std::vector<std::uint64_t> query = generator_.QuerySignature(key);
+  const int words = generator_.words();
+
+  // Advance to the next complete signature bucket, listening.
+  Bytes t = tune_in;
+  {
+    const Bytes phase = t % cycle;
+    std::size_t i = channel_.BucketAtPhase(phase);
+    if (channel_.start_phase(i) != phase ||
+        channel_.bucket(i).kind != BucketKind::kSignature) {
+      // Move to the next signature bucket start.
+      do {
+        i = (i + 1) % channel_.num_buckets();
+      } while (channel_.bucket(i).kind != BucketKind::kSignature);
+      t = channel_.NextArrivalOfPhase(channel_.start_phase(i), t);
+    }
+  }
+  result.tuning_time = t - tune_in;
+
+  const int pairs = dataset_->size();
+  for (int scanned = 0; scanned < pairs; ++scanned) {
+    const std::size_t i = channel_.BucketAtPhase(t % cycle);
+    const Bucket& sig_bucket = channel_.bucket(i);
+    t += sig_bucket.size;
+    result.tuning_time += sig_bucket.size;
+    ++result.probes;
+    const bool match = SignatureGenerator::Matches(sig_bucket.signature.data(),
+                                                   query.data(), words);
+    if (match) {
+      // Download the data bucket that follows.
+      const Bucket& data_bucket =
+          channel_.bucket((i + 1) % channel_.num_buckets());
+      t += data_bucket.size;
+      result.tuning_time += data_bucket.size;
+      ++result.probes;
+      const Record& record =
+          dataset_->record(static_cast<int>(data_bucket.record_id));
+      if (record.key == key) {
+        result.found = true;
+        break;
+      }
+      ++result.false_drops;
+    }
+    if (scanned + 1 == pairs) break;  // whole cycle sifted: not on air
+    // Doze until the next signature bucket.
+    const Bytes next_sig_phase =
+        channel_.start_phase((i + 2) % channel_.num_buckets());
+    t = channel_.NextArrivalOfPhase(next_sig_phase, t);
+  }
+  result.access_time = t - tune_in;
+  return result;
+}
+
+FilterResult SignatureIndexing::Filter(std::string_view value,
+                                       Bytes tune_in) const {
+  const Bytes it = channel_.bucket(0).size;
+  const Bytes dt = channel_.bucket(1).size;
+  const Bytes period = it + dt;
+  const int pairs = dataset_->size();
+  const Bytes cycle = channel_.cycle_bytes();
+  const int words = generator_.words();
+
+  FilterResult result;
+  // Listen until the next complete signature bucket (as in Access).
+  const Bytes phase = tune_in % cycle;
+  const Bytes pair_index = phase / period;
+  const Bytes in_pair = phase % period;
+  Bytes wait = 0;
+  int start = static_cast<int>(pair_index);
+  if (in_pair != 0) {
+    wait = period - in_pair;
+    start = static_cast<int>((pair_index + 1) % pairs);
+  }
+  result.access_time = wait;
+  result.tuning_time = wait + static_cast<Bytes>(pairs) * it;
+  result.probes = pairs;
+
+  const std::vector<std::uint64_t> query = generator_.QuerySignature(value);
+  bool last_pair_downloaded = false;
+  int position = start;
+  for (int scanned = 0; scanned < pairs; ++scanned) {
+    const std::uint64_t* sig =
+        packed_.data() + static_cast<std::size_t>(position) *
+                             static_cast<std::size_t>(words);
+    const bool match = SignatureGenerator::Matches(sig, query.data(), words);
+    if (match) {
+      result.tuning_time += dt;
+      ++result.probes;
+      const Record& record = dataset_->record(position);
+      bool carries = false;
+      for (const std::string& attribute : record.attributes) {
+        if (attribute == value) {
+          carries = true;
+          break;
+        }
+      }
+      if (carries) {
+        result.matches.push_back(position);
+      } else {
+        ++result.false_drops;
+      }
+    }
+    last_pair_downloaded = match;
+    if (++position == pairs) position = 0;
+  }
+  // The pass ends after the last pair's signature (plus its download when
+  // the signature matched).
+  result.access_time += static_cast<Bytes>(pairs - 1) * period + it +
+                        (last_pair_downloaded ? dt : 0);
+  std::sort(result.matches.begin(), result.matches.end());
+  return result;
+}
+
+double SignatureIndexing::MeasureFalseDropRate(int sample_queries,
+                                               std::uint64_t seed) const {
+  const int num = dataset_->size();
+  if (num < 2 || sample_queries <= 0) return 0.0;
+  Rng rng(seed);
+  std::int64_t pairs_checked = 0;
+  std::int64_t drops = 0;
+  for (int q = 0; q < sample_queries; ++q) {
+    const int target =
+        static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(num)));
+    const std::vector<std::uint64_t> query =
+        generator_.QuerySignature(dataset_->record(target).key);
+    const int matches = CountMatches(query.data(), 0, num);
+    drops += matches - 1;
+    pairs_checked += num - 1;
+  }
+  return static_cast<double>(drops) / static_cast<double>(pairs_checked);
+}
+
+}  // namespace airindex

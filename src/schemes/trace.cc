@@ -1,0 +1,50 @@
+#include "schemes/trace.h"
+
+#include <iomanip>
+
+namespace airindex {
+
+const char* ProbeActionToString(ProbeAction action) {
+  switch (action) {
+    case ProbeAction::kInitialWait:
+      return "initial-wait";
+    case ProbeAction::kRead:
+      return "read";
+    case ProbeAction::kDoze:
+      return "doze";
+    case ProbeAction::kDownload:
+      return "download";
+    case ProbeAction::kRestart:
+      return "restart";
+    case ProbeAction::kClimb:
+      return "climb";
+    case ProbeAction::kConclude:
+      return "conclude";
+  }
+  return "unknown";
+}
+
+void PrintTrace(const AccessTrace& trace, const Channel& channel,
+                std::ostream& os) {
+  for (const ProbeEvent& event : trace) {
+    os << "t=" << std::setw(10) << event.at << "  " << std::setw(12)
+       << ProbeActionToString(event.action) << "  +" << std::setw(8)
+       << event.duration;
+    if (event.bucket < channel.num_buckets()) {
+      const Bucket& bucket = channel.bucket(event.bucket);
+      os << "  bucket " << std::setw(6) << event.bucket << " ("
+         << BucketKindToString(bucket.kind);
+      if (bucket.kind == BucketKind::kIndex) {
+        os << " L" << bucket.level;
+      }
+      if (bucket.record_id >= 0) {
+        os << " rec=" << bucket.record_id;
+      }
+      os << ")";
+    }
+    if (!event.note.empty()) os << "  " << event.note;
+    os << '\n';
+  }
+}
+
+}  // namespace airindex

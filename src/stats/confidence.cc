@@ -1,0 +1,38 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/student_t.h"
+
+namespace airindex {
+
+ConfidenceEstimator::ConfidenceEstimator(double confidence_level,
+                                         double target_accuracy)
+    : confidence_level_(confidence_level), target_accuracy_(target_accuracy) {}
+
+void ConfidenceEstimator::AddObservation(double y) { stats_.Add(y); }
+
+ConfidenceCheck ConfidenceEstimator::Check() const {
+  ConfidenceCheck check;
+  check.mean = stats_.mean();
+  const auto n = static_cast<double>(stats_.count());
+  if (stats_.count() < 2) {
+    check.relative_accuracy = std::numeric_limits<double>::infinity();
+    return check;
+  }
+  const double t = StudentTCriticalValue(confidence_level_, n - 1.0);
+  check.half_width = t * stats_.stddev() / std::sqrt(n);
+  if (check.mean == 0.0) {
+    // A degenerate all-zero sample is exact; anything else with zero mean
+    // cannot satisfy a relative target.
+    check.relative_accuracy =
+        check.half_width == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  } else {
+    check.relative_accuracy = check.half_width / std::fabs(check.mean);
+  }
+  check.satisfied = check.relative_accuracy <= target_accuracy_;
+  return check;
+}
+
+}  // namespace airindex

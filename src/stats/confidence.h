@@ -1,0 +1,60 @@
+#ifndef AIRINDEX_STATS_CONFIDENCE_H_
+#define AIRINDEX_STATS_CONFIDENCE_H_
+
+#include <vector>
+
+#include "stats/running_stats.h"
+
+namespace airindex {
+
+/// Result of a confidence check over a set of sample means.
+struct ConfidenceCheck {
+  /// Sample mean of the observations.
+  double mean = 0.0;
+  /// Confidence half-width H = t_{alpha/2;N-1} * sigma / sqrt(N).
+  double half_width = 0.0;
+  /// Relative accuracy H / |mean| (infinity when mean == 0 and H > 0).
+  double relative_accuracy = 0.0;
+  /// True when relative_accuracy <= the configured target.
+  bool satisfied = false;
+};
+
+/// Implements the paper's stopping rule (Table 1 footnote):
+///
+///   "Given N sample results Y1..YN, the confidence accuracy is H/Y where
+///    H is the confidence interval half-width and Y the sample mean. [...]
+///    H = t_{alpha/2;N-1} * sigma / sqrt(N)."
+///
+/// The testbed feeds one observation per simulation round (the round mean
+/// over its 500 requests); the run stops when the relative half-width of
+/// the round means drops to the target (default 0.01 at 99% confidence).
+class ConfidenceEstimator {
+ public:
+  /// `confidence_level` in (0,1), e.g. 0.99; `target_accuracy` e.g. 0.01.
+  ConfidenceEstimator(double confidence_level, double target_accuracy);
+
+  /// Adds one observation (a round mean).
+  void AddObservation(double y);
+
+  /// Number of observations so far.
+  int count() const { return static_cast<int>(stats_.count()); }
+
+  /// Running mean of the observations.
+  double mean() const { return stats_.mean(); }
+
+  /// Evaluates the stopping rule. With fewer than two observations the
+  /// rule is never satisfied (the t factor is undefined).
+  ConfidenceCheck Check() const;
+
+  double confidence_level() const { return confidence_level_; }
+  double target_accuracy() const { return target_accuracy_; }
+
+ private:
+  double confidence_level_;
+  double target_accuracy_;
+  RunningStats stats_;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_STATS_CONFIDENCE_H_

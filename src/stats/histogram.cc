@@ -1,0 +1,92 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace airindex {
+
+namespace {
+
+// 16 linear sub-buckets per power of two after the exact region [0, 16).
+constexpr int kSubBucketBits = 4;
+constexpr std::int64_t kSubBuckets = 1 << kSubBucketBits;
+// Enough buckets for the full int64 range.
+constexpr std::size_t kNumBuckets =
+    kSubBuckets + (63 - kSubBucketBits) * kSubBuckets;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::BucketIndex(std::int64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int msb =
+      63 - std::countl_zero(static_cast<std::uint64_t>(value));
+  const int shift = msb - kSubBucketBits;
+  const std::size_t base =
+      static_cast<std::size_t>(kSubBuckets) +
+      static_cast<std::size_t>(shift) * kSubBuckets;
+  const std::size_t offset =
+      static_cast<std::size_t>((value >> shift) & (kSubBuckets - 1));
+  return base + offset;
+}
+
+std::int64_t Histogram::BucketUpperBound(std::size_t index) {
+  if (index < static_cast<std::size_t>(kSubBuckets)) {
+    return static_cast<std::int64_t>(index);
+  }
+  const std::size_t group =
+      (index - static_cast<std::size_t>(kSubBuckets)) / kSubBuckets;
+  const std::size_t offset =
+      (index - static_cast<std::size_t>(kSubBuckets)) % kSubBuckets;
+  return ((static_cast<std::int64_t>(kSubBuckets) +
+           static_cast<std::int64_t>(offset) + 1)
+          << group) -
+         1;
+}
+
+void Histogram::Add(std::int64_t value) {
+  value = std::max<std::int64_t>(value, 0);
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+std::int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace airindex

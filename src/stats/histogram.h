@@ -1,0 +1,54 @@
+#ifndef AIRINDEX_STATS_HISTOGRAM_H_
+#define AIRINDEX_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace airindex {
+
+/// Log-scaled histogram for non-negative metric samples (byte counts).
+///
+/// Buckets grow geometrically (HdrHistogram-style, base-2 with linear
+/// sub-buckets), so percentile error is bounded by the sub-bucket
+/// resolution (~1/16) at any magnitude while memory stays a few KiB.
+/// The testbed uses it to report tail access/tuning times, which the
+/// paper's means alone cannot show.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample; negative values clamp to zero.
+  void Add(std::int64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Number of samples recorded.
+  std::int64_t count() const { return count_; }
+
+  /// Smallest / largest recorded sample (0 / 0 when empty).
+  std::int64_t min() const { return count_ ? min_ : 0; }
+  std::int64_t max() const { return count_ ? max_ : 0; }
+
+  /// Value at quantile q in [0,1] (upper bound of the containing
+  /// bucket); 0 when empty. q=0.5 is the median.
+  std::int64_t Quantile(double q) const;
+
+  /// Convenience percentiles.
+  std::int64_t p50() const { return Quantile(0.50); }
+  std::int64_t p95() const { return Quantile(0.95); }
+  std::int64_t p99() const { return Quantile(0.99); }
+
+ private:
+  static std::size_t BucketIndex(std::int64_t value);
+  static std::int64_t BucketUpperBound(std::size_t index);
+
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_STATS_HISTOGRAM_H_

@@ -1,0 +1,56 @@
+#ifndef AIRINDEX_STATS_RUNNING_STATS_H_
+#define AIRINDEX_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace airindex {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for the long request streams the testbed produces
+/// (tens of millions of samples); never stores the samples themselves.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one sample.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly;
+  /// Chan et al. combination).
+  void Merge(const RunningStats& other);
+
+  /// Number of samples added.
+  std::int64_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 with fewer than two
+  /// samples.
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest sample seen; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest sample seen; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all samples.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_STATS_RUNNING_STATS_H_

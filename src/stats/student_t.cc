@@ -1,0 +1,103 @@
+#include "stats/student_t.h"
+
+#include <cmath>
+#include <limits>
+
+namespace airindex {
+
+namespace {
+
+// Continued fraction for the incomplete beta function (modified Lentz).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  if (df <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double p = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - p : p;
+}
+
+double StudentTQuantile(double p, double df) {
+  if (!(p > 0.0 && p < 1.0) || df < 1.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (p == 0.5) return 0.0;
+  // By symmetry solve for the upper half only.
+  if (p < 0.5) return -StudentTQuantile(1.0 - p, df);
+
+  // Bracket the root, then bisect. The quantile is called once per
+  // simulation round, so robustness beats speed here.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (StudentTCdf(hi, df) < p) {
+    hi *= 2.0;
+    if (hi > 1e12) break;  // p astronomically close to 1
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double StudentTCriticalValue(double confidence_level, double df) {
+  const double alpha = 1.0 - confidence_level;
+  return StudentTQuantile(1.0 - alpha / 2.0, df);
+}
+
+}  // namespace airindex

@@ -1,0 +1,26 @@
+#ifndef AIRINDEX_STATS_STUDENT_T_H_
+#define AIRINDEX_STATS_STUDENT_T_H_
+
+namespace airindex {
+
+/// Regularized incomplete beta function I_x(a, b), for a, b > 0 and
+/// x in [0, 1]. Evaluated with the Lentz continued-fraction expansion.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Quantile (inverse CDF) of Student's t distribution: the value t such
+/// that P(T <= t) = p, for p in (0, 1) and df >= 1.
+///
+/// The paper's accuracy controller computes the confidence half-width
+/// H = t_{alpha/2; N-1} * sigma / sqrt(N); this supplies the t factor.
+double StudentTQuantile(double p, double df);
+
+/// Two-sided critical value t_{alpha/2; df} for the given confidence
+/// level (e.g., level = 0.99 gives the t with 0.5% in each tail).
+double StudentTCriticalValue(double confidence_level, double df);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_STATS_STUDENT_T_H_

@@ -1,0 +1,216 @@
+// Tests for the closed-form models of Section 2: internal consistency,
+// monotonicity, known-value checks, and optimal-parameter selection.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analytical/models.h"
+
+namespace airindex {
+namespace {
+
+BucketGeometry PaperGeometry() { return BucketGeometry(); }
+
+TEST(FlatModel, HalfCyclePlusWait) {
+  const AnalyticalEstimate estimate = FlatModel(1000, PaperGeometry());
+  EXPECT_DOUBLE_EQ(estimate.access_time, (0.5 + 1001.0 / 2.0) * 500.0);
+  EXPECT_DOUBLE_EQ(estimate.access_time, estimate.tuning_time);
+}
+
+TEST(BTreeShape, PowersOfFanout) {
+  BucketGeometry geometry;
+  geometry.record_bytes = 30;
+  geometry.key_bytes = 6;  // fanout 3
+  const BTreeModelShape shape = BTreeShape(81, geometry);
+  EXPECT_EQ(shape.levels, 4);
+  EXPECT_DOUBLE_EQ(shape.index_buckets, 40.0);  // 1 + 3 + 9 + 27
+}
+
+TEST(ComputeBTreeLevels, MatchesActualTree) {
+  // 10 records, fanout 3: leaves 4, then 2, then root.
+  BucketGeometry geometry;
+  geometry.record_bytes = 30;
+  geometry.key_bytes = 6;
+  const BTreeLevelCounts levels = ComputeBTreeLevels(10, 3);
+  ASSERT_EQ(levels.height, 3);
+  EXPECT_EQ(levels.count_at_depth[0], 1);
+  EXPECT_EQ(levels.count_at_depth[1], 2);
+  EXPECT_EQ(levels.count_at_depth[2], 4);
+}
+
+TEST(DistributedModel, MatchesPaperTermsOnCompleteTree) {
+  // Fanout 3, 81 records, r = 2: N = 48 + 81 = 129 buckets; avg index
+  // segment = 48/9; avg data segment = 9.
+  BucketGeometry geometry;
+  geometry.record_bytes = 30;
+  geometry.key_bytes = 6;
+  const AnalyticalEstimate exact = DistributedModelExact(81, geometry, 2);
+  const double expected_access =
+      0.5 * (48.0 / 9.0 + 9.0 + 129.0 + 1.0) * 30.0;
+  EXPECT_DOUBLE_EQ(exact.access_time, expected_access);
+  EXPECT_DOUBLE_EQ(exact.tuning_time, (4.0 + 1.5) * 30.0);
+  // The paper's complete-tree closed form agrees when the tree is full.
+  const AnalyticalEstimate paper = DistributedModel(81, geometry, 2);
+  EXPECT_NEAR(paper.access_time, exact.access_time, 1e-9);
+  EXPECT_NEAR(paper.tuning_time, exact.tuning_time, 1e-9);
+}
+
+TEST(DistributedModel, TuningIndependentOfR) {
+  const BucketGeometry geometry = PaperGeometry();
+  const double t0 = DistributedModelExact(10000, geometry, 0).tuning_time;
+  const double t2 = DistributedModelExact(10000, geometry, 2).tuning_time;
+  EXPECT_DOUBLE_EQ(t0, t2);
+}
+
+TEST(DistributedModel, OptimalRBeatsNeighbors) {
+  const BucketGeometry geometry = PaperGeometry();
+  for (const int nr : {5000, 20000, 34000}) {
+    const int best = DistributedOptimalRExact(nr, geometry);
+    const double best_access =
+        DistributedModelExact(nr, geometry, best).access_time;
+    const BTreeLevelCounts levels =
+        ComputeBTreeLevels(nr, geometry.index_fanout());
+    for (int r = 0; r < levels.height; ++r) {
+      EXPECT_LE(best_access,
+                DistributedModelExact(nr, geometry, r).access_time + 1e-9)
+          << "nr=" << nr << " r=" << r;
+    }
+  }
+}
+
+TEST(OneMModel, OptimalMBeatsNeighbors) {
+  const BucketGeometry geometry = PaperGeometry();
+  for (const int nr : {5000, 20000}) {
+    const int best = OneMOptimalMExact(nr, geometry);
+    const double best_access = OneMModelExact(nr, geometry, best).access_time;
+    for (const int m : {best - 1, best + 1}) {
+      if (m >= 1) {
+        EXPECT_LE(best_access,
+                  OneMModelExact(nr, geometry, m).access_time * 1.001);
+      }
+    }
+  }
+}
+
+TEST(OneMModel, MoreReplicationRaisesCycleLowersProbe) {
+  const BucketGeometry geometry = PaperGeometry();
+  const AnalyticalEstimate m1 = OneMModelExact(10000, geometry, 1);
+  const AnalyticalEstimate m8 = OneMModelExact(10000, geometry, 8);
+  // Tuning identical; access differs through the replication tradeoff.
+  EXPECT_DOUBLE_EQ(m1.tuning_time, m8.tuning_time);
+  EXPECT_NE(m1.access_time, m8.access_time);
+}
+
+TEST(HashingModel, CollisionExpectation) {
+  // Na = Nr: about 1/e of records are displaced.
+  EXPECT_NEAR(ExpectedHashCollisions(10000, 10000) / 10000.0,
+              1.0 / std::exp(1.0), 0.005);
+  // Huge table: almost no collisions.
+  EXPECT_LT(ExpectedHashCollisions(100, 100000), 1.0);
+}
+
+TEST(HashingModel, AccessWorseThanFlatTuningBetter) {
+  const BucketGeometry geometry = PaperGeometry();
+  for (const int nr : {7000, 34000}) {
+    const int nc = static_cast<int>(ExpectedHashCollisions(nr, nr));
+    const AnalyticalEstimate hashing = HashingModel(nr, nr, nc, geometry);
+    const AnalyticalEstimate flat = FlatModel(nr, geometry);
+    EXPECT_GT(hashing.access_time, flat.access_time);
+    EXPECT_LT(hashing.tuning_time, flat.tuning_time / 100.0);
+  }
+}
+
+TEST(HashingModel, TuningFlatInRecords) {
+  const BucketGeometry geometry = PaperGeometry();
+  const double t1 =
+      HashingModel(7000, 7000,
+                   static_cast<int>(ExpectedHashCollisions(7000, 7000)),
+                   geometry)
+          .tuning_time;
+  const double t2 =
+      HashingModel(34000, 34000,
+                   static_cast<int>(ExpectedHashCollisions(34000, 34000)),
+                   geometry)
+          .tuning_time;
+  EXPECT_NEAR(t1, t2, 0.02 * t1);
+}
+
+TEST(SignatureModel, AccessJustAboveFlat) {
+  const BucketGeometry geometry = PaperGeometry();
+  const AnalyticalEstimate signature = SignatureModel(10000, geometry, 1e-4);
+  const AnalyticalEstimate flat = FlatModel(10000, geometry);
+  EXPECT_GT(signature.access_time, flat.access_time * 0.99);
+  EXPECT_LT(signature.access_time, flat.access_time * 1.10);
+  EXPECT_LT(signature.tuning_time, flat.tuning_time / 5.0);
+}
+
+TEST(SignatureModel, FalseDropsRaiseTuning) {
+  const BucketGeometry geometry = PaperGeometry();
+  EXPECT_GT(SignatureModel(10000, geometry, 1e-2).tuning_time,
+            SignatureModel(10000, geometry, 1e-5).tuning_time);
+}
+
+TEST(TheoreticalFalseDropRate, BehavesSensibly) {
+  BucketGeometry wide = PaperGeometry();
+  wide.signature_bytes = 64;
+  BucketGeometry narrow = PaperGeometry();
+  narrow.signature_bytes = 4;
+  const double wide_rate = TheoreticalFalseDropRate(wide, 8, 8);
+  const double narrow_rate = TheoreticalFalseDropRate(narrow, 8, 8);
+  EXPECT_LT(wide_rate, narrow_rate);
+  EXPECT_GT(wide_rate, 0.0);
+  EXPECT_LE(narrow_rate, 1.0);
+}
+
+TEST(Models, AccessOrderingMatchesPaperFigure4) {
+  // flat < signature < distributed < hashing on access time at the
+  // paper's configuration.
+  const BucketGeometry geometry = PaperGeometry();
+  for (const int nr : {7000, 16000, 34000}) {
+    const double flat = FlatModel(nr, geometry).access_time;
+    const double signature =
+        SignatureModel(nr, geometry,
+                       TheoreticalFalseDropRate(geometry, 8, 8))
+            .access_time;
+    const double distributed =
+        DistributedModelExact(nr, geometry,
+                              DistributedOptimalRExact(nr, geometry))
+            .access_time;
+    const double hashing =
+        HashingModel(nr, nr,
+                     static_cast<int>(ExpectedHashCollisions(nr, nr)),
+                     geometry)
+            .access_time;
+    EXPECT_LT(flat, signature);
+    EXPECT_LT(signature, distributed);
+    EXPECT_LT(distributed, hashing);
+  }
+}
+
+TEST(Models, TuningOrderingMatchesPaperFigure4) {
+  // hashing < distributed << signature << flat on tuning time.
+  const BucketGeometry geometry = PaperGeometry();
+  for (const int nr : {7000, 34000}) {
+    const double flat = FlatModel(nr, geometry).tuning_time;
+    const double signature =
+        SignatureModel(nr, geometry,
+                       TheoreticalFalseDropRate(geometry, 8, 8))
+            .tuning_time;
+    const double distributed =
+        DistributedModelExact(nr, geometry,
+                              DistributedOptimalRExact(nr, geometry))
+            .tuning_time;
+    const double hashing =
+        HashingModel(nr, nr,
+                     static_cast<int>(ExpectedHashCollisions(nr, nr)),
+                     geometry)
+            .tuning_time;
+    EXPECT_LT(hashing, distributed);
+    EXPECT_LT(distributed, signature);
+    EXPECT_LT(signature, flat);
+  }
+}
+
+}  // namespace
+}  // namespace airindex

@@ -1,0 +1,118 @@
+// Unit tests for the broadcast B+ index tree.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "schemes/btree.h"
+
+namespace airindex {
+namespace {
+
+TEST(BTree, RejectsBadArguments) {
+  EXPECT_FALSE(BTree::Build(0, 3).ok());
+  EXPECT_FALSE(BTree::Build(10, 1).ok());
+}
+
+TEST(BTree, SingleLeaf) {
+  const BTree tree = BTree::Build(3, 5).value();
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  const BTreeNode& root = tree.node(tree.root());
+  EXPECT_EQ(root.level, 0);
+  EXPECT_EQ(root.depth, 0);
+  EXPECT_EQ(root.first_record, 0);
+  EXPECT_EQ(root.last_record, 2);
+  EXPECT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.parent, -1);
+}
+
+TEST(BTree, PaperFigure1Shape) {
+  // 81 records, fanout 3: the paper's sample tree I / a / b / c.
+  const BTree tree = BTree::Build(81, 3).value();
+  EXPECT_EQ(tree.height(), 4);
+  EXPECT_EQ(tree.nodes().size(), 27u + 9u + 3u + 1u);
+  EXPECT_EQ(tree.NodesAtDepth(0).size(), 1u);
+  EXPECT_EQ(tree.NodesAtDepth(1).size(), 3u);
+  EXPECT_EQ(tree.NodesAtDepth(2).size(), 9u);
+  EXPECT_EQ(tree.NodesAtDepth(3).size(), 27u);
+}
+
+TEST(BTree, CoversAllRecordsExactlyOnceAtEachLevel) {
+  const BTree tree = BTree::Build(1000, 7).value();
+  for (int depth = 0; depth < tree.height(); ++depth) {
+    int next_record = 0;
+    for (const int id : tree.NodesAtDepth(depth)) {
+      const BTreeNode& node = tree.node(id);
+      EXPECT_EQ(node.first_record, next_record);
+      EXPECT_LE(node.first_record, node.last_record);
+      next_record = node.last_record + 1;
+    }
+    EXPECT_EQ(next_record, 1000);
+  }
+}
+
+TEST(BTree, ParentChildConsistency) {
+  const BTree tree = BTree::Build(500, 4).value();
+  for (std::size_t id = 0; id < tree.nodes().size(); ++id) {
+    const BTreeNode& node = tree.node(static_cast<int>(id));
+    if (node.level > 0) {
+      for (const int child : node.children) {
+        EXPECT_EQ(tree.node(child).parent, static_cast<int>(id));
+        EXPECT_EQ(tree.node(child).level, node.level - 1);
+        EXPECT_EQ(tree.node(child).depth, node.depth + 1);
+      }
+      EXPECT_EQ(node.first_record, tree.node(node.children.front()).first_record);
+      EXPECT_EQ(node.last_record, tree.node(node.children.back()).last_record);
+    }
+    EXPECT_LE(static_cast<int>(node.children.size()), 4);
+    EXPECT_GE(node.children.size(), 1u);
+  }
+}
+
+TEST(BTree, PreorderVisitsSubtreeOnce) {
+  const BTree tree = BTree::Build(300, 5).value();
+  const std::vector<int> order = tree.PreorderSubtree(tree.root());
+  EXPECT_EQ(order.size(), tree.nodes().size());
+  const std::set<int> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), order.size());
+  EXPECT_EQ(order.front(), tree.root());
+  // Preorder: every node appears after its parent.
+  std::vector<int> position(tree.nodes().size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (std::size_t id = 0; id < tree.nodes().size(); ++id) {
+    const int parent = tree.node(static_cast<int>(id)).parent;
+    if (parent != -1) {
+      EXPECT_GT(position[id], position[static_cast<std::size_t>(parent)]);
+    }
+  }
+}
+
+TEST(BTree, AncestorsNearestFirst) {
+  const BTree tree = BTree::Build(81, 3).value();
+  const std::vector<int> leaves = tree.NodesAtDepth(3);
+  const std::vector<int> ancestors = tree.Ancestors(leaves[13]);
+  ASSERT_EQ(ancestors.size(), 3u);
+  EXPECT_EQ(tree.node(ancestors[0]).depth, 2);
+  EXPECT_EQ(tree.node(ancestors[1]).depth, 1);
+  EXPECT_EQ(ancestors[2], tree.root());
+  EXPECT_TRUE(tree.Ancestors(tree.root()).empty());
+}
+
+TEST(BTree, IncompleteTreeHasRaggedLastNodes) {
+  // 10 records, fanout 3: leaves cover 3,3,3,1; root has 4 children?
+  // No - 4 leaves group into ceil(4/3)=2 nodes, then a root.
+  const BTree tree = BTree::Build(10, 3).value();
+  EXPECT_EQ(tree.height(), 3);
+  EXPECT_EQ(tree.NodesAtDepth(2).size(), 4u);
+  EXPECT_EQ(tree.NodesAtDepth(1).size(), 2u);
+  const BTreeNode& last_leaf = tree.node(tree.NodesAtDepth(2).back());
+  EXPECT_EQ(last_leaf.children.size(), 1u);
+  EXPECT_EQ(last_leaf.first_record, 9);
+  EXPECT_EQ(last_leaf.last_record, 9);
+}
+
+}  // namespace
+}  // namespace airindex

@@ -1,0 +1,80 @@
+// Unit tests for Status / Result.
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace airindex {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad fanout");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad fanout");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad fanout");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(Status, CopyPreservesState) {
+  const Status s = Status::NotFound("key xyz");
+  const Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.message(), "key xyz");
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r(Status::OutOfRange("too big"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Result, MoveExtractsValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, WorksWithMoveOnlyLikeTypes) {
+  struct Big {
+    std::string a;
+    std::string b;
+  };
+  Result<Big> r(Big{"x", "y"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().a, "x");
+  const Big moved = std::move(r).value();
+  EXPECT_EQ(moved.b, "y");
+}
+
+}  // namespace
+}  // namespace airindex

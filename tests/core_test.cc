@@ -1,0 +1,198 @@
+// Tests for the testbed core: request generation, result handling,
+// accuracy control, and RunTestbed integration behaviour.
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy_controller.h"
+#include "core/request_generator.h"
+#include "core/result_handler.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+#include "des/random.h"
+
+namespace airindex {
+namespace {
+
+Dataset MakeDataset(int n) {
+  DatasetConfig config;
+  config.num_records = n;
+  config.key_width = 6;
+  return Dataset::Generate(config).value();
+}
+
+TEST(RequestGenerator, AvailabilityControlsHitRate) {
+  const Dataset dataset = MakeDataset(100);
+  for (const double availability : {0.0, 0.35, 1.0}) {
+    RequestGenerator generator(&dataset, availability, 1000.0, Rng(5));
+    int on_air = 0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      const Query query = generator.NextQuery();
+      const bool actually_present = dataset.FindIndex(query.key) >= 0;
+      EXPECT_EQ(query.on_air, actually_present);
+      if (query.on_air) ++on_air;
+    }
+    EXPECT_NEAR(static_cast<double>(on_air) / kDraws, availability, 0.02);
+  }
+}
+
+TEST(RequestGenerator, InterArrivalsArepositiveWithRequestedMean) {
+  const Dataset dataset = MakeDataset(10);
+  RequestGenerator generator(&dataset, 1.0, 700.0, Rng(6));
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Bytes delta = generator.NextInterArrival();
+    EXPECT_GE(delta, 1);
+    sum += static_cast<double>(delta);
+  }
+  EXPECT_NEAR(sum / kDraws, 700.0, 15.0);
+}
+
+TEST(ResultHandler, RoundsResetButTotalsAccumulate) {
+  ResultHandler handler;
+  AccessResult result;
+  result.found = true;
+  result.access_time = 100;
+  result.tuning_time = 40;
+  handler.Add(result, true);
+  result.access_time = 200;
+  handler.Add(result, true);
+  EXPECT_EQ(handler.round_size(), 2);
+  const ResultHandler::RoundStats round = handler.CloseRound();
+  EXPECT_DOUBLE_EQ(round.access_mean, 150.0);
+  EXPECT_DOUBLE_EQ(round.tuning_mean, 40.0);
+  EXPECT_EQ(round.requests, 2);
+  EXPECT_EQ(handler.round_size(), 0);
+  EXPECT_EQ(handler.requests(), 2);
+  EXPECT_EQ(handler.found(), 2);
+}
+
+TEST(ResultHandler, CountsMismatchesAndAnomalies) {
+  ResultHandler handler;
+  AccessResult result;
+  result.found = false;
+  result.anomalies = 2;
+  result.false_drops = 3;
+  handler.Add(result, /*expected_on_air=*/true);  // mismatch!
+  EXPECT_EQ(handler.outcome_mismatches(), 1);
+  EXPECT_EQ(handler.anomalies(), 2);
+  EXPECT_EQ(handler.false_drops(), 3);
+  result.found = true;
+  result.anomalies = 0;
+  handler.Add(result, true);  // fine
+  EXPECT_EQ(handler.outcome_mismatches(), 1);
+}
+
+TEST(AccuracyController, RequiresBothMetrics) {
+  AccuracyController controller(0.99, 0.01);
+  // Access converges (identical values), tuning oscillates wildly.
+  for (int i = 0; i < 50; ++i) {
+    controller.AddRound(100.0, i % 2 == 0 ? 10.0 : 1000.0);
+  }
+  EXPECT_FALSE(controller.Satisfied());
+  AccuracyController both(0.99, 0.01);
+  for (int i = 0; i < 50; ++i) both.AddRound(100.0, 10.0);
+  EXPECT_TRUE(both.Satisfied());
+  EXPECT_EQ(both.rounds(), 50);
+}
+
+TestbedConfig SmallConfig(SchemeKind scheme) {
+  TestbedConfig config;
+  config.scheme = scheme;
+  config.num_records = 300;
+  config.geometry.record_bytes = 100;
+  config.geometry.key_bytes = 10;
+  config.requests_per_round = 100;
+  config.min_rounds = 5;
+  config.max_rounds = 60;
+  return config;
+}
+
+TEST(RunTestbed, AllSchemesProduceCleanRuns) {
+  for (const SchemeKind kind :
+       {SchemeKind::kFlat, SchemeKind::kOneM, SchemeKind::kDistributed,
+        SchemeKind::kHashing, SchemeKind::kSignature,
+        SchemeKind::kIntegratedSignature, SchemeKind::kMultiLevelSignature}) {
+    const Result<SimulationResult> run = RunTestbed(SmallConfig(kind));
+    ASSERT_TRUE(run.ok()) << SchemeKindToString(kind);
+    const SimulationResult& result = run.value();
+    EXPECT_EQ(result.outcome_mismatches, 0) << SchemeKindToString(kind);
+    EXPECT_EQ(result.anomalies, 0) << SchemeKindToString(kind);
+    EXPECT_EQ(result.found, result.requests) << SchemeKindToString(kind);
+    EXPECT_GE(result.requests, 500);
+    EXPECT_GT(result.access.mean(), 0.0);
+    EXPECT_GT(result.tuning.mean(), 0.0);
+    EXPECT_LE(result.tuning.mean(), result.access.mean());
+  }
+}
+
+TEST(RunTestbed, DeterministicForEqualSeeds) {
+  const TestbedConfig config = SmallConfig(SchemeKind::kDistributed);
+  const SimulationResult a = RunTestbed(config).value();
+  const SimulationResult b = RunTestbed(config).value();
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_DOUBLE_EQ(a.access.mean(), b.access.mean());
+  EXPECT_DOUBLE_EQ(a.tuning.mean(), b.tuning.mean());
+  TestbedConfig other = config;
+  other.seed = 43;
+  const SimulationResult c = RunTestbed(other).value();
+  EXPECT_NE(a.access.mean(), c.access.mean());
+}
+
+TEST(RunTestbed, AvailabilityReflectedInFoundRate) {
+  TestbedConfig config = SmallConfig(SchemeKind::kDistributed);
+  config.data_availability = 0.4;
+  const SimulationResult result = RunTestbed(config).value();
+  EXPECT_EQ(result.outcome_mismatches, 0);
+  EXPECT_NEAR(result.found_rate(), 0.4, 0.05);
+}
+
+TEST(RunTestbed, StopsAtMaxRoundsWhenNotConverged) {
+  TestbedConfig config = SmallConfig(SchemeKind::kFlat);
+  config.confidence_accuracy = 1e-9;  // unreachable
+  config.max_rounds = 8;
+  const SimulationResult result = RunTestbed(config).value();
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.rounds, 8);
+}
+
+TEST(RunTestbed, ConvergedRunsReportAccuracy) {
+  TestbedConfig config = SmallConfig(SchemeKind::kHashing);
+  config.confidence_accuracy = 0.05;
+  config.max_rounds = 200;
+  const SimulationResult result = RunTestbed(config).value();
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.access_check.relative_accuracy, 0.05);
+  EXPECT_LE(result.tuning_check.relative_accuracy, 0.05);
+}
+
+TEST(RunTestbed, RejectsBadConfigs) {
+  TestbedConfig config = SmallConfig(SchemeKind::kFlat);
+  config.num_records = 0;
+  EXPECT_FALSE(RunTestbed(config).ok());
+  config = SmallConfig(SchemeKind::kFlat);
+  config.data_availability = 1.5;
+  EXPECT_FALSE(RunTestbed(config).ok());
+  config = SmallConfig(SchemeKind::kFlat);
+  config.mean_request_interval_bytes = 0;
+  EXPECT_FALSE(RunTestbed(config).ok());
+  config = SmallConfig(SchemeKind::kFlat);
+  config.confidence_level = 1.0;
+  EXPECT_FALSE(RunTestbed(config).ok());
+  config = SmallConfig(SchemeKind::kFlat);
+  config.max_rounds = 1;
+  config.min_rounds = 5;
+  EXPECT_FALSE(RunTestbed(config).ok());
+}
+
+TEST(RunTestbed, ChannelShapeReported) {
+  const SimulationResult result =
+      RunTestbed(SmallConfig(SchemeKind::kSignature)).value();
+  EXPECT_EQ(result.num_data_buckets, 300);
+  EXPECT_EQ(result.num_signature_buckets, 300);
+  EXPECT_EQ(result.cycle_bytes, 300 * (100 + 16));
+}
+
+}  // namespace
+}  // namespace airindex

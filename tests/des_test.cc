@@ -1,0 +1,195 @@
+// Unit tests for the discrete-event substrate: RNG quality/determinism,
+// event-queue ordering and cancellation, simulation clock semantics.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/event_queue.h"
+#include "des/random.h"
+#include "des/simulation.h"
+
+namespace airindex {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(37), 37u);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);  // ~5 sigma
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const double o = rng.NextDoubleOpen();
+    EXPECT_GT(o, 0.0);
+    EXPECT_LE(o, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double d = rng.NextExponential(500.0);
+    EXPECT_GE(d, 0.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / kDraws, 500.0, 5.0);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Mix64, IsBijectiveLooking) {
+  // No collisions among a modest sample and not the identity.
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 1000; ++i) out.push_back(Mix64(i));
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  EXPECT_NE(Mix64(1), 1u);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(30, [&] { order.push_back(3); });
+  queue.Schedule(10, [&] { order.push_back(1); });
+  queue.Schedule(20, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.Schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  int fired = 0;
+  const EventId id = queue.Schedule(10, [&] { ++fired; });
+  queue.Schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));  // second cancel is a no-op
+  EXPECT_EQ(queue.size(), 1u);
+  while (!queue.empty()) queue.RunNext();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(12345));
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue queue;
+  std::vector<Bytes> times;
+  queue.Schedule(1, [&] {
+    times.push_back(1);
+    queue.Schedule(5, [&] { times.push_back(5); });
+  });
+  while (!queue.empty()) times.push_back(queue.PeekTime()), queue.RunNext();
+  // PeekTime recorded before each run: 1 then 5; callbacks record 1 and 5.
+  EXPECT_EQ(times, (std::vector<Bytes>{1, 1, 5, 5}));
+}
+
+TEST(Simulation, ClockFollowsEvents) {
+  Simulation sim;
+  std::vector<Bytes> seen;
+  sim.ScheduleIn(100, [&] { seen.push_back(sim.now()); });
+  sim.ScheduleIn(50, [&] {
+    seen.push_back(sim.now());
+    sim.ScheduleIn(25, [&] { seen.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, (std::vector<Bytes>{50, 75, 100}));
+}
+
+TEST(Simulation, StopPredicateHalts) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(i, [&] { ++fired; });
+  }
+  sim.Run([&] { return fired >= 3; });
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending(), 7u);
+}
+
+TEST(Simulation, RunUntilAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20);
+  sim.RunUntil(35);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 35);
+}
+
+}  // namespace
+}  // namespace airindex

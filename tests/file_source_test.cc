@@ -1,0 +1,134 @@
+// Tests for the file-backed data source and Dataset::FromRecords.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/file_source.h"
+
+namespace airindex {
+namespace {
+
+class FileSourceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/airindex_file_source_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(FileSourceTest, LoadsAndSortsRecords) {
+  WriteFile(
+      "# a comment\n"
+      "zebra,mammal,striped\n"
+      "apple,fruit,red\n"
+      "\n"
+      "mango,fruit,yellow\n");
+  const Result<Dataset> result = LoadDatasetFromFile(path_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Dataset& dataset = result.value();
+  ASSERT_EQ(dataset.size(), 3);
+  EXPECT_EQ(dataset.record(0).key, "apple");
+  EXPECT_EQ(dataset.record(1).key, "mango");
+  EXPECT_EQ(dataset.record(2).key, "zebra");
+  EXPECT_EQ(dataset.record(0).attributes,
+            (std::vector<std::string>{"fruit", "red"}));
+  EXPECT_FALSE(dataset.synthetic());
+  EXPECT_EQ(dataset.FindIndex("mango"), 1);
+  EXPECT_EQ(dataset.FindIndex("durian"), -1);
+}
+
+TEST_F(FileSourceTest, AbsentKeysInterleaveForExternalData) {
+  WriteFile("alpha\nbeta\ngamma\n");
+  const Dataset dataset = LoadDatasetFromFile(path_).value();
+  for (int i = 0; i <= dataset.size(); ++i) {
+    const std::string absent = dataset.AbsentKey(i);
+    EXPECT_EQ(dataset.FindIndex(absent), -1) << absent;
+    if (i > 0) {
+      EXPECT_GT(absent, dataset.record(i - 1).key);
+    }
+    if (i < dataset.size()) {
+      EXPECT_LT(absent, dataset.record(i).key);
+    }
+  }
+}
+
+TEST_F(FileSourceTest, AbsentKeyWorksWhenNextKeyExtendsPrevious) {
+  WriteFile("abc\nabcd\nabcde\n");
+  const Dataset dataset = LoadDatasetFromFile(path_).value();
+  for (int i = 0; i <= 3; ++i) {
+    EXPECT_EQ(dataset.FindIndex(dataset.AbsentKey(i)), -1);
+  }
+  EXPECT_LT(dataset.AbsentKey(1), "abcd");
+  EXPECT_GT(dataset.AbsentKey(1), "abc");
+}
+
+TEST_F(FileSourceTest, RejectsDuplicatesAndBadKeys) {
+  WriteFile("same,1\nsame,2\n");
+  EXPECT_FALSE(LoadDatasetFromFile(path_).ok());
+  WriteFile("ok\nbad key!,x\n");  // '!' inside the key is reserved
+  EXPECT_FALSE(LoadDatasetFromFile(path_).ok());
+  WriteFile(",missing-key\n");
+  EXPECT_FALSE(LoadDatasetFromFile(path_).ok());
+  WriteFile("# only comments\n\n");
+  EXPECT_FALSE(LoadDatasetFromFile(path_).ok());
+}
+
+TEST_F(FileSourceTest, MissingFileIsNotFound) {
+  const Result<Dataset> result =
+      LoadDatasetFromFile("/nonexistent/path/data.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FileSourceTest, RoundTripsThroughSave) {
+  WriteFile("kiwi,fruit\nlemon,fruit\n");
+  const Dataset original = LoadDatasetFromFile(path_).value();
+  const std::string copy = path_ + ".copy";
+  ASSERT_TRUE(SaveDatasetToFile(original, copy).ok());
+  const Dataset reloaded = LoadDatasetFromFile(copy).value();
+  std::remove(copy.c_str());
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (int i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reloaded.record(i).key, original.record(i).key);
+    EXPECT_EQ(reloaded.record(i).attributes, original.record(i).attributes);
+  }
+}
+
+TEST_F(FileSourceTest, CrlfAndCustomDelimiter) {
+  WriteFile("a|1|2\r\nb|3\r\n");
+  const Dataset dataset = LoadDatasetFromFile(path_, '|').value();
+  ASSERT_EQ(dataset.size(), 2);
+  EXPECT_EQ(dataset.record(0).attributes,
+            (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(FromRecords, AssignsDenseIdsInKeyOrder) {
+  std::vector<Record> records(3);
+  records[0].key = "cc";
+  records[1].key = "aa";
+  records[2].key = "bb";
+  const Dataset dataset = Dataset::FromRecords(std::move(records)).value();
+  EXPECT_EQ(dataset.record(0).key, "aa");
+  EXPECT_EQ(dataset.record(0).id, 0u);
+  EXPECT_EQ(dataset.record(2).key, "cc");
+  EXPECT_EQ(dataset.record(2).id, 2u);
+  EXPECT_EQ(dataset.config().key_width, 2);
+}
+
+TEST(FromRecords, RejectsEmpty) {
+  EXPECT_FALSE(Dataset::FromRecords({}).ok());
+}
+
+}  // namespace
+}  // namespace airindex

@@ -1,0 +1,118 @@
+// Tests for attribute filtering (signature schemes vs the flat baseline)
+// and the channel describe utility.
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "broadcast/describe.h"
+#include "des/random.h"
+#include "schemes/flat.h"
+#include "schemes/signature.h"
+
+namespace airindex {
+namespace {
+
+std::shared_ptr<const Dataset> MakeDataset(int n) {
+  DatasetConfig config;
+  config.num_records = n;
+  config.key_width = 6;
+  config.num_attributes = 4;
+  config.attribute_width = 3;  // narrow: attribute values repeat
+  return std::make_shared<const Dataset>(Dataset::Generate(config).value());
+}
+
+BucketGeometry SmallGeometry() {
+  BucketGeometry geometry;
+  geometry.record_bytes = 100;
+  geometry.key_bytes = 6;
+  geometry.signature_bytes = 16;
+  return geometry;
+}
+
+TEST(Filter, DatasetGroundTruth) {
+  const auto dataset = MakeDataset(500);
+  const std::string value = dataset->record(42).attributes[1];
+  const std::vector<int> matches = dataset->FindByAttribute(value);
+  // Record 42 itself must be in the list; 3-char pseudo-words repeat, so
+  // typically others carry it too.
+  EXPECT_NE(std::find(matches.begin(), matches.end(), 42), matches.end());
+  for (const int m : matches) {
+    bool carries = false;
+    for (const std::string& attribute : dataset->record(m).attributes) {
+      carries = carries || attribute == value;
+    }
+    EXPECT_TRUE(carries) << m;
+  }
+  EXPECT_TRUE(dataset->FindByAttribute("zzz-not-there").empty());
+}
+
+TEST(Filter, SignatureFindsExactlyTheCarriers) {
+  const auto dataset = MakeDataset(400);
+  const SignatureIndexing scheme =
+      SignatureIndexing::Build(dataset, SmallGeometry()).value();
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int record = static_cast<int>(rng.NextBounded(400));
+    const int attr = static_cast<int>(rng.NextBounded(4));
+    const std::string value = dataset->record(record).attributes[
+        static_cast<std::size_t>(attr)];
+    const Bytes tune_in = static_cast<Bytes>(rng.NextBounded(100000));
+    const FilterResult result = scheme.Filter(value, tune_in);
+    EXPECT_EQ(result.matches, dataset->FindByAttribute(value));
+    EXPECT_GE(result.false_drops, 0);
+    EXPECT_LE(result.tuning_time, result.access_time);
+  }
+}
+
+TEST(Filter, SignatureTunesFarLessThanFlat) {
+  const auto dataset = MakeDataset(400);
+  const BucketGeometry geometry = SmallGeometry();
+  const SignatureIndexing signature =
+      SignatureIndexing::Build(dataset, geometry).value();
+  const FlatBroadcast flat = FlatBroadcast::Build(dataset, geometry).value();
+  const std::string value = dataset->record(7).attributes[0];
+  const FilterResult sig_result = signature.Filter(value, 1234);
+  const FilterResult flat_result = flat.Filter(value, 1234);
+  EXPECT_EQ(sig_result.matches, flat_result.matches);
+  // Flat listens to the whole cycle; signatures sift.
+  EXPECT_LT(sig_result.tuning_time, flat_result.tuning_time / 3);
+  EXPECT_EQ(flat_result.tuning_time, flat_result.access_time);
+}
+
+TEST(Filter, AbsentValueYieldsOnlyFalseDrops) {
+  const auto dataset = MakeDataset(300);
+  const SignatureIndexing scheme =
+      SignatureIndexing::Build(dataset, SmallGeometry()).value();
+  const FilterResult result = scheme.Filter("zq!", 0);
+  EXPECT_TRUE(result.matches.empty());
+  // All signature buckets were still sifted.
+  EXPECT_GE(result.probes, 300);
+}
+
+TEST(Filter, AccessCoversOneCycle) {
+  const auto dataset = MakeDataset(100);
+  const SignatureIndexing scheme =
+      SignatureIndexing::Build(dataset, SmallGeometry()).value();
+  const FilterResult result =
+      scheme.Filter(dataset->record(0).attributes[0], 0);
+  const Bytes cycle = scheme.channel().cycle_bytes();
+  EXPECT_GE(result.access_time, cycle - 100 - 16);
+  EXPECT_LE(result.access_time, cycle + 116);
+}
+
+TEST(Describe, PrintsBucketSummaries) {
+  const auto dataset = MakeDataset(10);
+  const SignatureIndexing scheme =
+      SignatureIndexing::Build(dataset, SmallGeometry()).value();
+  std::ostringstream out;
+  DescribeChannel(scheme.channel(), out, 4);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("cycle: 20 buckets"), std::string::npos);
+  EXPECT_NE(text.find("signature"), std::string::npos);
+  EXPECT_NE(text.find("... (16 more buckets)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace airindex

@@ -1,0 +1,97 @@
+// Unit tests for the log-scaled histogram.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/random.h"
+#include "stats/histogram.h"
+
+namespace airindex {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 16; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 16);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 15);
+  // Values below 16 land in exact buckets.
+  EXPECT_EQ(h.Quantile(1.0), 15);
+  EXPECT_EQ(h.Quantile(0.5), 7);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.Add(-100);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.Quantile(1.0), 0);
+}
+
+TEST(Histogram, QuantilesWithinRelativeResolution) {
+  Rng rng(3);
+  Histogram h;
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBounded(10000000));
+    h.Add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    const std::int64_t exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const std::int64_t approx = h.Quantile(q);
+    // Log bucketing with 16 sub-buckets: <= ~7% relative error.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.08 * static_cast<double>(exact) + 16.0)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  h.Add(1000001);
+  h.Add(77);
+  EXPECT_EQ(h.Quantile(1.0), 1000001);
+  EXPECT_LE(h.Quantile(0.99), 1000001);
+}
+
+TEST(Histogram, MergeEqualsCombined) {
+  Rng rng(5);
+  Histogram a;
+  Histogram b;
+  Histogram whole;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBounded(1 << 20));
+    (i % 2 ? a : b).Add(v);
+    whole.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  for (const double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), whole.Quantile(q));
+  }
+}
+
+TEST(Histogram, HugeValuesDoNotOverflow) {
+  Histogram h;
+  h.Add((std::int64_t{1} << 62) + 12345);
+  h.Add(1);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_GE(h.Quantile(1.0), std::int64_t{1} << 62);
+}
+
+}  // namespace
+}  // namespace airindex

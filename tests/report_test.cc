@@ -1,0 +1,50 @@
+// Tests for the report-table printer.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace airindex {
+namespace {
+
+TEST(ReportTable, AlignsColumns) {
+  ReportTable table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "23456"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name         value"), std::string::npos);
+  EXPECT_NE(text.find("longer-name  23456"), std::string::npos);
+  EXPECT_NE(text.find("-----------  -----"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(ReportTable, PadsShortRowsAndTruncatesLong) {
+  ReportTable table({"a", "b"});
+  table.AddRow({"only-one"});
+  table.AddRow({"x", "y", "extra-dropped"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\nonly-one,\nx,y\n");
+}
+
+TEST(ReportTable, CsvOutput) {
+  ReportTable table({"k", "v"});
+  table.AddRow({"r1", "10"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "k,v\nr1,10\n");
+}
+
+TEST(FormatDouble, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(1234567.0, 0), "1234567");
+}
+
+}  // namespace
+}  // namespace airindex

@@ -1,0 +1,172 @@
+// Unit tests for the statistics substrate: Welford accumulation, merge,
+// Student-t quantiles against table values, and the paper's confidence
+// stopping rule.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/random.h"
+#include "stats/confidence.h"
+#include "stats/running_stats.h"
+#include "stats/student_t.h"
+
+namespace airindex {
+namespace {
+
+TEST(RunningStats, EmptyIsNeutral) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (const double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100.0;
+    whole.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(3.0);
+  RunningStats b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(1e9 + (i % 2));  // variance should be ~0.25, not garbage
+  }
+  EXPECT_NEAR(s.variance(), 0.25, 1e-3);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2,2) = x^2 (3 - 2x).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 2, 0.4), 0.16 * (3 - 0.8), 1e-10);
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(StudentT, CdfSymmetry) {
+  for (const double df : {1.0, 5.0, 30.0}) {
+    EXPECT_NEAR(StudentTCdf(0.0, df), 0.5, 1e-12);
+    EXPECT_NEAR(StudentTCdf(1.7, df) + StudentTCdf(-1.7, df), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentT, QuantileMatchesTables) {
+  // Classic two-sided critical values t_{0.025; df} and t_{0.005; df}.
+  EXPECT_NEAR(StudentTQuantile(0.975, 1), 12.706, 1e-2);
+  EXPECT_NEAR(StudentTQuantile(0.975, 10), 2.228, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 30), 2.042, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.995, 10), 3.169, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.995, 100), 2.626, 1e-3);
+  // Symmetry.
+  EXPECT_NEAR(StudentTQuantile(0.025, 10), -2.228, 1e-3);
+  EXPECT_EQ(StudentTQuantile(0.5, 7), 0.0);
+}
+
+TEST(StudentT, QuantileInvertsTheCdf) {
+  for (const double df : {2.0, 9.0, 99.0}) {
+    for (const double p : {0.6, 0.9, 0.975, 0.999}) {
+      EXPECT_NEAR(StudentTCdf(StudentTQuantile(p, df), df), p, 1e-9);
+    }
+  }
+}
+
+TEST(StudentT, CriticalValueUsesHalfAlpha) {
+  EXPECT_NEAR(StudentTCriticalValue(0.95, 10), StudentTQuantile(0.975, 10),
+              1e-12);
+  EXPECT_NEAR(StudentTCriticalValue(0.99, 99), StudentTQuantile(0.995, 99),
+              1e-12);
+}
+
+TEST(Confidence, NeverSatisfiedBelowTwoObservations) {
+  ConfidenceEstimator estimator(0.99, 0.01);
+  EXPECT_FALSE(estimator.Check().satisfied);
+  estimator.AddObservation(10.0);
+  EXPECT_FALSE(estimator.Check().satisfied);
+}
+
+TEST(Confidence, IdenticalObservationsSatisfyImmediately) {
+  ConfidenceEstimator estimator(0.99, 0.01);
+  estimator.AddObservation(5.0);
+  estimator.AddObservation(5.0);
+  const ConfidenceCheck check = estimator.Check();
+  EXPECT_EQ(check.half_width, 0.0);
+  EXPECT_TRUE(check.satisfied);
+}
+
+TEST(Confidence, HalfWidthMatchesHandComputation) {
+  ConfidenceEstimator estimator(0.95, 0.01);
+  for (const double y : {10.0, 12.0, 8.0, 11.0, 9.0}) {
+    estimator.AddObservation(y);
+  }
+  // mean 10, sample sd sqrt(2.5), H = t_{.025;4} * sd / sqrt(5).
+  const double expected =
+      StudentTQuantile(0.975, 4) * std::sqrt(2.5) / std::sqrt(5.0);
+  const ConfidenceCheck check = estimator.Check();
+  EXPECT_NEAR(check.mean, 10.0, 1e-12);
+  EXPECT_NEAR(check.half_width, expected, 1e-9);
+  EXPECT_NEAR(check.relative_accuracy, expected / 10.0, 1e-9);
+}
+
+TEST(Confidence, ConvergesUnderNarrowingNoise) {
+  // Feed round means from a distribution with small relative spread; the
+  // rule should eventually trigger, and sooner for looser targets.
+  Rng rng(77);
+  ConfidenceEstimator tight(0.99, 0.01);
+  ConfidenceEstimator loose(0.99, 0.05);
+  int tight_rounds = 0;
+  int loose_rounds = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double y = 100.0 + rng.NextDouble();  // mean ~100.5, sd ~0.29
+    tight.AddObservation(y);
+    loose.AddObservation(y);
+    if (loose_rounds == 0 && loose.Check().satisfied) loose_rounds = i + 1;
+    if (tight.Check().satisfied) {
+      tight_rounds = i + 1;
+      break;
+    }
+  }
+  EXPECT_GT(loose_rounds, 0);
+  EXPECT_GT(tight_rounds, 0);
+  EXPECT_LE(loose_rounds, tight_rounds);
+}
+
+}  // namespace
+}  // namespace airindex

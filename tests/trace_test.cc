@@ -1,0 +1,140 @@
+// Tests for the probe-trace instrumentation of distributed indexing.
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "des/random.h"
+#include "schemes/distributed.h"
+#include "schemes/trace.h"
+
+namespace airindex {
+namespace {
+
+std::shared_ptr<const Dataset> MakeDataset(int n) {
+  DatasetConfig config;
+  config.num_records = n;
+  config.key_width = 6;
+  return std::make_shared<const Dataset>(Dataset::Generate(config).value());
+}
+
+BucketGeometry SmallGeometry() {
+  BucketGeometry geometry;
+  geometry.record_bytes = 30;
+  geometry.key_bytes = 6;
+  return geometry;
+}
+
+TEST(Trace, TracedEqualsUntraced) {
+  const auto dataset = MakeDataset(81);
+  const DistributedIndexing scheme =
+      DistributedIndexing::Build(dataset, SmallGeometry(), 2).value();
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    const bool present = rng.NextBernoulli(0.7);
+    const std::string key =
+        present ? dataset->record(static_cast<int>(rng.NextBounded(81))).key
+                : dataset->AbsentKey(static_cast<int>(rng.NextBounded(82)));
+    const Bytes tune_in =
+        static_cast<Bytes>(rng.NextBounded(static_cast<std::uint64_t>(
+            2 * scheme.channel().cycle_bytes())));
+    AccessTrace trace;
+    const AccessResult traced = scheme.AccessTraced(key, tune_in, &trace);
+    const AccessResult plain = scheme.Access(key, tune_in);
+    ASSERT_EQ(traced.found, plain.found);
+    ASSERT_EQ(traced.access_time, plain.access_time);
+    ASSERT_EQ(traced.tuning_time, plain.tuning_time);
+    ASSERT_EQ(traced.probes, plain.probes);
+    ASSERT_FALSE(trace.empty());
+  }
+}
+
+TEST(Trace, EventsAreConsistentWithTheResult) {
+  const auto dataset = MakeDataset(81);
+  const DistributedIndexing scheme =
+      DistributedIndexing::Build(dataset, SmallGeometry(), 2).value();
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string key =
+        dataset->record(static_cast<int>(rng.NextBounded(81))).key;
+    const Bytes tune_in = static_cast<Bytes>(rng.NextBounded(10000));
+    AccessTrace trace;
+    const AccessResult result = scheme.AccessTraced(key, tune_in, &trace);
+    ASSERT_TRUE(result.found);
+
+    // Events are contiguous in time and start at tune-in.
+    ASSERT_EQ(trace.front().at, tune_in);
+    Bytes t = tune_in;
+    Bytes listened = 0;
+    int reads = 0;
+    for (const ProbeEvent& event : trace) {
+      EXPECT_EQ(event.at, t);
+      t += event.duration;
+      switch (event.action) {
+        case ProbeAction::kInitialWait:
+          listened += event.duration;
+          break;
+        case ProbeAction::kRead:
+        case ProbeAction::kDownload:
+          listened += event.duration;
+          ++reads;
+          ASSERT_LT(event.bucket, scheme.channel().num_buckets());
+          EXPECT_EQ(event.duration,
+                    scheme.channel().bucket(event.bucket).size);
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_EQ(t - tune_in, result.access_time);
+    EXPECT_EQ(listened, result.tuning_time);
+    EXPECT_EQ(reads, result.probes);
+    // A successful walk ends with download + conclude.
+    EXPECT_EQ(trace.back().action, ProbeAction::kConclude);
+    EXPECT_EQ(trace[trace.size() - 2].action, ProbeAction::kDownload);
+  }
+}
+
+TEST(Trace, RestartRuleIsVisible) {
+  const auto dataset = MakeDataset(81);
+  const DistributedIndexing scheme =
+      DistributedIndexing::Build(dataset, SmallGeometry(), 2).value();
+  // Record 3 sits at the start of the cycle; tuning in half-way through
+  // guarantees the "key already passed" restart.
+  AccessTrace trace;
+  const AccessResult result = scheme.AccessTraced(
+      dataset->record(3).key, scheme.channel().cycle_bytes() / 2, &trace);
+  ASSERT_TRUE(result.found);
+  bool saw_restart = false;
+  for (const ProbeEvent& event : trace) {
+    saw_restart = saw_restart || event.action == ProbeAction::kRestart;
+  }
+  EXPECT_TRUE(saw_restart);
+}
+
+TEST(Trace, PrintsReadably) {
+  const auto dataset = MakeDataset(81);
+  const DistributedIndexing scheme =
+      DistributedIndexing::Build(dataset, SmallGeometry(), 2).value();
+  AccessTrace trace;
+  scheme.AccessTraced(dataset->record(40).key, 77, &trace);
+  std::ostringstream out;
+  PrintTrace(trace, scheme.channel(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("initial-wait"), std::string::npos);
+  EXPECT_NE(text.find("download"), std::string::npos);
+  EXPECT_NE(text.find("conclude"), std::string::npos);
+}
+
+TEST(Trace, ActionNamesComplete) {
+  for (const ProbeAction action :
+       {ProbeAction::kInitialWait, ProbeAction::kRead, ProbeAction::kDoze,
+        ProbeAction::kDownload, ProbeAction::kRestart, ProbeAction::kClimb,
+        ProbeAction::kConclude}) {
+    EXPECT_STRNE(ProbeActionToString(action), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace airindex

@@ -1,0 +1,71 @@
+// Unit tests for the Zipf request-popularity sampler.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/random.h"
+#include "des/zipf.h"
+
+namespace airindex {
+namespace {
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  const ZipfDistribution zipf(10, 0.0);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.Probability(k), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, ProbabilitiesSumToOneAndDecrease) {
+  const ZipfDistribution zipf(1000, 0.9);
+  double total = 0.0;
+  double previous = 1.0;
+  for (int k = 0; k < 1000; ++k) {
+    const double p = zipf.Probability(k);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, previous + 1e-15);
+    previous = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.Probability(-1), 0.0);
+  EXPECT_EQ(zipf.Probability(1000), 0.0);
+}
+
+TEST(Zipf, ClassicRatios) {
+  // P(rank 0) / P(rank 1) = 2^theta.
+  const ZipfDistribution zipf(100, 1.0);
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(9), 10.0, 1e-9);
+}
+
+TEST(Zipf, SamplingMatchesProbabilities) {
+  const ZipfDistribution zipf(50, 0.8);
+  Rng rng(11);
+  std::vector<int> counts(50, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int k = zipf.Sample(&rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 50);
+    ++counts[static_cast<std::size_t>(k)];
+  }
+  for (int k = 0; k < 50; ++k) {
+    const double expected = zipf.Probability(k) * kDraws;
+    EXPECT_NEAR(counts[static_cast<std::size_t>(k)], expected,
+                5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, SingleRank) {
+  const ZipfDistribution zipf(1, 1.2);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(&rng), 0);
+  EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace airindex
