@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_broadcast_disks.dir/ablation_broadcast_disks.cc.o"
+  "CMakeFiles/ablation_broadcast_disks.dir/ablation_broadcast_disks.cc.o.d"
+  "ablation_broadcast_disks"
+  "ablation_broadcast_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_broadcast_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

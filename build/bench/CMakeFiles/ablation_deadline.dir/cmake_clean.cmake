@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadline.dir/ablation_deadline.cc.o"
+  "CMakeFiles/ablation_deadline.dir/ablation_deadline.cc.o.d"
+  "ablation_deadline"
+  "ablation_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

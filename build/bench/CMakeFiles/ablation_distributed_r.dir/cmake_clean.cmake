@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distributed_r.dir/ablation_distributed_r.cc.o"
+  "CMakeFiles/ablation_distributed_r.dir/ablation_distributed_r.cc.o.d"
+  "ablation_distributed_r"
+  "ablation_distributed_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

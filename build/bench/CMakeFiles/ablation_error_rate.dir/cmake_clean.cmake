@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_error_rate.dir/ablation_error_rate.cc.o"
+  "CMakeFiles/ablation_error_rate.dir/ablation_error_rate.cc.o.d"
+  "ablation_error_rate"
+  "ablation_error_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

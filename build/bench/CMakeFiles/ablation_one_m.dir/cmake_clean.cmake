@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_one_m.dir/ablation_one_m.cc.o"
+  "CMakeFiles/ablation_one_m.dir/ablation_one_m.cc.o.d"
+  "ablation_one_m"
+  "ablation_one_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_one_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signature_family.dir/ablation_signature_family.cc.o"
+  "CMakeFiles/ablation_signature_family.dir/ablation_signature_family.cc.o.d"
+  "ablation_signature_family"
+  "ablation_signature_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signature_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signature_width.dir/ablation_signature_width.cc.o"
+  "CMakeFiles/ablation_signature_width.dir/ablation_signature_width.cc.o.d"
+  "ablation_signature_width"
+  "ablation_signature_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signature_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_signature_width.
+# This may be replaced when dependencies are built.

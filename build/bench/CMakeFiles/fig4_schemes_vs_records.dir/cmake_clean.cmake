@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_schemes_vs_records.dir/fig4_schemes_vs_records.cc.o"
+  "CMakeFiles/fig4_schemes_vs_records.dir/fig4_schemes_vs_records.cc.o.d"
+  "fig4_schemes_vs_records"
+  "fig4_schemes_vs_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_schemes_vs_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

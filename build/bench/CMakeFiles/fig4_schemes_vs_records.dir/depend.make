@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_schemes_vs_records.
+# This may be replaced when dependencies are built.

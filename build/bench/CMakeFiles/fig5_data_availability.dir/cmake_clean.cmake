@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_data_availability.dir/fig5_data_availability.cc.o"
+  "CMakeFiles/fig5_data_availability.dir/fig5_data_availability.cc.o.d"
+  "fig5_data_availability"
+  "fig5_data_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_data_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

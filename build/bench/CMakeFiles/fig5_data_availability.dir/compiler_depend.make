@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_data_availability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_record_key_ratio.dir/fig6_record_key_ratio.cc.o"
+  "CMakeFiles/fig6_record_key_ratio.dir/fig6_record_key_ratio.cc.o.d"
+  "fig6_record_key_ratio"
+  "fig6_record_key_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_record_key_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

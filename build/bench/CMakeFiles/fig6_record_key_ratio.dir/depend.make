@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_record_key_ratio.
+# This may be replaced when dependencies are built.

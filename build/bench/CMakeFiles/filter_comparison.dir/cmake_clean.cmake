@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_comparison.dir/filter_comparison.cc.o"
+  "CMakeFiles/filter_comparison.dir/filter_comparison.cc.o.d"
+  "filter_comparison"
+  "filter_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_comparison.dir/hybrid_comparison.cc.o"
+  "CMakeFiles/hybrid_comparison.dir/hybrid_comparison.cc.o.d"
+  "hybrid_comparison"
+  "hybrid_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

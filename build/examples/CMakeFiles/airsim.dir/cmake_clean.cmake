@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airsim.dir/airsim.cpp.o"
+  "CMakeFiles/airsim.dir/airsim.cpp.o.d"
+  "airsim"
+  "airsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

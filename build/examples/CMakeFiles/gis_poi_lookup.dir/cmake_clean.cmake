@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_poi_lookup.dir/gis_poi_lookup.cpp.o"
+  "CMakeFiles/gis_poi_lookup.dir/gis_poi_lookup.cpp.o.d"
+  "gis_poi_lookup"
+  "gis_poi_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_poi_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gis_poi_lookup.
+# This may be replaced when dependencies are built.

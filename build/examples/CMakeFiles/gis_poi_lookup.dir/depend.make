@@ -1,0 +1,2 @@
+# Empty dependencies file for gis_poi_lookup.
+# This may be replaced when dependencies are built.

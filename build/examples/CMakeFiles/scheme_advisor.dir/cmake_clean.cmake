@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_advisor.dir/scheme_advisor.cpp.o"
+  "CMakeFiles/scheme_advisor.dir/scheme_advisor.cpp.o.d"
+  "scheme_advisor"
+  "scheme_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

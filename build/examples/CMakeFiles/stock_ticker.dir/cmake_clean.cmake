@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_ticker.dir/stock_ticker.cpp.o"
+  "CMakeFiles/stock_ticker.dir/stock_ticker.cpp.o.d"
+  "stock_ticker"
+  "stock_ticker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_ticker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airindex_analytical.dir/models.cc.o"
+  "CMakeFiles/airindex_analytical.dir/models.cc.o.d"
+  "libairindex_analytical.a"
+  "libairindex_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airindex_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

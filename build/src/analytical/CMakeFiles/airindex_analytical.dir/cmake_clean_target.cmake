@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libairindex_analytical.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for airindex_analytical.
+# This may be replaced when dependencies are built.

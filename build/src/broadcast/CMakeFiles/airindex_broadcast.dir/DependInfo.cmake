@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/channel.cc" "src/broadcast/CMakeFiles/airindex_broadcast.dir/channel.cc.o" "gcc" "src/broadcast/CMakeFiles/airindex_broadcast.dir/channel.cc.o.d"
+  "/root/repo/src/broadcast/describe.cc" "src/broadcast/CMakeFiles/airindex_broadcast.dir/describe.cc.o" "gcc" "src/broadcast/CMakeFiles/airindex_broadcast.dir/describe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/airindex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

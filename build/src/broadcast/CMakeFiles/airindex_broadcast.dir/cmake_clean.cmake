@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airindex_broadcast.dir/channel.cc.o"
+  "CMakeFiles/airindex_broadcast.dir/channel.cc.o.d"
+  "CMakeFiles/airindex_broadcast.dir/describe.cc.o"
+  "CMakeFiles/airindex_broadcast.dir/describe.cc.o.d"
+  "libairindex_broadcast.a"
+  "libairindex_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airindex_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

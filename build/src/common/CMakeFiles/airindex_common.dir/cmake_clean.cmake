@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airindex_common.dir/status.cc.o"
+  "CMakeFiles/airindex_common.dir/status.cc.o.d"
+  "libairindex_common.a"
+  "libairindex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airindex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/broadcast_server.cc" "src/core/CMakeFiles/airindex_core.dir/broadcast_server.cc.o" "gcc" "src/core/CMakeFiles/airindex_core.dir/broadcast_server.cc.o.d"
+  "/root/repo/src/core/deadline.cc" "src/core/CMakeFiles/airindex_core.dir/deadline.cc.o" "gcc" "src/core/CMakeFiles/airindex_core.dir/deadline.cc.o.d"
+  "/root/repo/src/core/error_model.cc" "src/core/CMakeFiles/airindex_core.dir/error_model.cc.o" "gcc" "src/core/CMakeFiles/airindex_core.dir/error_model.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/airindex_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/airindex_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/airindex_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/airindex_core.dir/report.cc.o.d"
+  "/root/repo/src/core/request_generator.cc" "src/core/CMakeFiles/airindex_core.dir/request_generator.cc.o" "gcc" "src/core/CMakeFiles/airindex_core.dir/request_generator.cc.o.d"
+  "/root/repo/src/core/result_handler.cc" "src/core/CMakeFiles/airindex_core.dir/result_handler.cc.o" "gcc" "src/core/CMakeFiles/airindex_core.dir/result_handler.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/core/CMakeFiles/airindex_core.dir/simulator.cc.o" "gcc" "src/core/CMakeFiles/airindex_core.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/airindex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/airindex_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/airindex_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/airindex_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/airindex_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/airindex_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/airindex_analytical.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airindex_core.dir/broadcast_server.cc.o"
+  "CMakeFiles/airindex_core.dir/broadcast_server.cc.o.d"
+  "CMakeFiles/airindex_core.dir/deadline.cc.o"
+  "CMakeFiles/airindex_core.dir/deadline.cc.o.d"
+  "CMakeFiles/airindex_core.dir/error_model.cc.o"
+  "CMakeFiles/airindex_core.dir/error_model.cc.o.d"
+  "CMakeFiles/airindex_core.dir/experiment.cc.o"
+  "CMakeFiles/airindex_core.dir/experiment.cc.o.d"
+  "CMakeFiles/airindex_core.dir/report.cc.o"
+  "CMakeFiles/airindex_core.dir/report.cc.o.d"
+  "CMakeFiles/airindex_core.dir/request_generator.cc.o"
+  "CMakeFiles/airindex_core.dir/request_generator.cc.o.d"
+  "CMakeFiles/airindex_core.dir/result_handler.cc.o"
+  "CMakeFiles/airindex_core.dir/result_handler.cc.o.d"
+  "CMakeFiles/airindex_core.dir/simulator.cc.o"
+  "CMakeFiles/airindex_core.dir/simulator.cc.o.d"
+  "libairindex_core.a"
+  "libairindex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airindex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airindex_data.dir/dataset.cc.o"
+  "CMakeFiles/airindex_data.dir/dataset.cc.o.d"
+  "CMakeFiles/airindex_data.dir/file_source.cc.o"
+  "CMakeFiles/airindex_data.dir/file_source.cc.o.d"
+  "libairindex_data.a"
+  "libairindex_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airindex_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

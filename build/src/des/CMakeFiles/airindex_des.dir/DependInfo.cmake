@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/event_queue.cc" "src/des/CMakeFiles/airindex_des.dir/event_queue.cc.o" "gcc" "src/des/CMakeFiles/airindex_des.dir/event_queue.cc.o.d"
+  "/root/repo/src/des/random.cc" "src/des/CMakeFiles/airindex_des.dir/random.cc.o" "gcc" "src/des/CMakeFiles/airindex_des.dir/random.cc.o.d"
+  "/root/repo/src/des/simulation.cc" "src/des/CMakeFiles/airindex_des.dir/simulation.cc.o" "gcc" "src/des/CMakeFiles/airindex_des.dir/simulation.cc.o.d"
+  "/root/repo/src/des/zipf.cc" "src/des/CMakeFiles/airindex_des.dir/zipf.cc.o" "gcc" "src/des/CMakeFiles/airindex_des.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/airindex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airindex_des.dir/event_queue.cc.o"
+  "CMakeFiles/airindex_des.dir/event_queue.cc.o.d"
+  "CMakeFiles/airindex_des.dir/random.cc.o"
+  "CMakeFiles/airindex_des.dir/random.cc.o.d"
+  "CMakeFiles/airindex_des.dir/simulation.cc.o"
+  "CMakeFiles/airindex_des.dir/simulation.cc.o.d"
+  "CMakeFiles/airindex_des.dir/zipf.cc.o"
+  "CMakeFiles/airindex_des.dir/zipf.cc.o.d"
+  "libairindex_des.a"
+  "libairindex_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airindex_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

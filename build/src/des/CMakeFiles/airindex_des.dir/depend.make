@@ -1,0 +1,2 @@
+# Empty dependencies file for airindex_des.
+# This may be replaced when dependencies are built.

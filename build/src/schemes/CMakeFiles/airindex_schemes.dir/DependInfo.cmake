@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemes/broadcast_disks.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/broadcast_disks.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/broadcast_disks.cc.o.d"
+  "/root/repo/src/schemes/btree.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/btree.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/btree.cc.o.d"
+  "/root/repo/src/schemes/distributed.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/distributed.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/distributed.cc.o.d"
+  "/root/repo/src/schemes/flat.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/flat.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/flat.cc.o.d"
+  "/root/repo/src/schemes/hashing.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/hashing.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/hashing.cc.o.d"
+  "/root/repo/src/schemes/hybrid.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/hybrid.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/hybrid.cc.o.d"
+  "/root/repo/src/schemes/integrated_signature.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/integrated_signature.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/integrated_signature.cc.o.d"
+  "/root/repo/src/schemes/multilevel_signature.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/multilevel_signature.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/multilevel_signature.cc.o.d"
+  "/root/repo/src/schemes/one_m.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/one_m.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/one_m.cc.o.d"
+  "/root/repo/src/schemes/scheme.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/scheme.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/scheme.cc.o.d"
+  "/root/repo/src/schemes/signature.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/signature.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/signature.cc.o.d"
+  "/root/repo/src/schemes/trace.cc" "src/schemes/CMakeFiles/airindex_schemes.dir/trace.cc.o" "gcc" "src/schemes/CMakeFiles/airindex_schemes.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/airindex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/airindex_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/airindex_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/airindex_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/airindex_analytical.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

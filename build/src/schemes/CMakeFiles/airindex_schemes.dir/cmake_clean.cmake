@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airindex_schemes.dir/broadcast_disks.cc.o"
+  "CMakeFiles/airindex_schemes.dir/broadcast_disks.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/btree.cc.o"
+  "CMakeFiles/airindex_schemes.dir/btree.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/distributed.cc.o"
+  "CMakeFiles/airindex_schemes.dir/distributed.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/flat.cc.o"
+  "CMakeFiles/airindex_schemes.dir/flat.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/hashing.cc.o"
+  "CMakeFiles/airindex_schemes.dir/hashing.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/hybrid.cc.o"
+  "CMakeFiles/airindex_schemes.dir/hybrid.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/integrated_signature.cc.o"
+  "CMakeFiles/airindex_schemes.dir/integrated_signature.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/multilevel_signature.cc.o"
+  "CMakeFiles/airindex_schemes.dir/multilevel_signature.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/one_m.cc.o"
+  "CMakeFiles/airindex_schemes.dir/one_m.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/scheme.cc.o"
+  "CMakeFiles/airindex_schemes.dir/scheme.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/signature.cc.o"
+  "CMakeFiles/airindex_schemes.dir/signature.cc.o.d"
+  "CMakeFiles/airindex_schemes.dir/trace.cc.o"
+  "CMakeFiles/airindex_schemes.dir/trace.cc.o.d"
+  "libairindex_schemes.a"
+  "libairindex_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airindex_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confidence.cc" "src/stats/CMakeFiles/airindex_stats.dir/confidence.cc.o" "gcc" "src/stats/CMakeFiles/airindex_stats.dir/confidence.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/airindex_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/airindex_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/running_stats.cc" "src/stats/CMakeFiles/airindex_stats.dir/running_stats.cc.o" "gcc" "src/stats/CMakeFiles/airindex_stats.dir/running_stats.cc.o.d"
+  "/root/repo/src/stats/student_t.cc" "src/stats/CMakeFiles/airindex_stats.dir/student_t.cc.o" "gcc" "src/stats/CMakeFiles/airindex_stats.dir/student_t.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/airindex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

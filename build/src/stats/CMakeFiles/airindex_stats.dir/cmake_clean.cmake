@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airindex_stats.dir/confidence.cc.o"
+  "CMakeFiles/airindex_stats.dir/confidence.cc.o.d"
+  "CMakeFiles/airindex_stats.dir/histogram.cc.o"
+  "CMakeFiles/airindex_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/airindex_stats.dir/running_stats.cc.o"
+  "CMakeFiles/airindex_stats.dir/running_stats.cc.o.d"
+  "CMakeFiles/airindex_stats.dir/student_t.cc.o"
+  "CMakeFiles/airindex_stats.dir/student_t.cc.o.d"
+  "libairindex_stats.a"
+  "libairindex_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airindex_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

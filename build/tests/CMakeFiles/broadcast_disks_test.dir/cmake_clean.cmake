@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_disks_test.dir/broadcast_disks_test.cc.o"
+  "CMakeFiles/broadcast_disks_test.dir/broadcast_disks_test.cc.o.d"
+  "broadcast_disks_test"
+  "broadcast_disks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_disks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

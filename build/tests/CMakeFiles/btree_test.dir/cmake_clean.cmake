@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_test.dir/btree_test.cc.o"
+  "CMakeFiles/btree_test.dir/btree_test.cc.o.d"
+  "btree_test"
+  "btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

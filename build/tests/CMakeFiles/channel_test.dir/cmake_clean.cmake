@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_test.dir/channel_test.cc.o"
+  "CMakeFiles/channel_test.dir/channel_test.cc.o.d"
+  "channel_test"
+  "channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/airindex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/airindex_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/airindex_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/airindex_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/airindex_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/airindex_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/airindex_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/airindex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_test.dir/des_test.cc.o"
+  "CMakeFiles/des_test.dir/des_test.cc.o.d"
+  "des_test"
+  "des_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

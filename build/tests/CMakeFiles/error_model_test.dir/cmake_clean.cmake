@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_model_test.dir/error_model_test.cc.o"
+  "CMakeFiles/error_model_test.dir/error_model_test.cc.o.d"
+  "error_model_test"
+  "error_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_source_test.dir/file_source_test.cc.o"
+  "CMakeFiles/file_source_test.dir/file_source_test.cc.o.d"
+  "file_source_test"
+  "file_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

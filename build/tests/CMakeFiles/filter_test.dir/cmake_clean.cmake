@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_test.dir/filter_test.cc.o"
+  "CMakeFiles/filter_test.dir/filter_test.cc.o.d"
+  "filter_test"
+  "filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

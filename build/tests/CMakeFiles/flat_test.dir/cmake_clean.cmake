@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_test.dir/flat_test.cc.o"
+  "CMakeFiles/flat_test.dir/flat_test.cc.o.d"
+  "flat_test"
+  "flat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

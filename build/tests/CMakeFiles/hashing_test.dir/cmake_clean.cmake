@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashing_test.dir/hashing_test.cc.o"
+  "CMakeFiles/hashing_test.dir/hashing_test.cc.o.d"
+  "hashing_test"
+  "hashing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

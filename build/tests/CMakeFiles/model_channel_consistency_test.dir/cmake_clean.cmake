@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_channel_consistency_test.dir/model_channel_consistency_test.cc.o"
+  "CMakeFiles/model_channel_consistency_test.dir/model_channel_consistency_test.cc.o.d"
+  "model_channel_consistency_test"
+  "model_channel_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_channel_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

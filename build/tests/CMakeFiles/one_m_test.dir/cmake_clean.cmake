@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_m_test.dir/one_m_test.cc.o"
+  "CMakeFiles/one_m_test.dir/one_m_test.cc.o.d"
+  "one_m_test"
+  "one_m_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

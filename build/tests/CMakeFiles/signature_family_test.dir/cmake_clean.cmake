@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_family_test.dir/signature_family_test.cc.o"
+  "CMakeFiles/signature_family_test.dir/signature_family_test.cc.o.d"
+  "signature_family_test"
+  "signature_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_test.dir/signature_test.cc.o"
+  "CMakeFiles/signature_test.dir/signature_test.cc.o.d"
+  "signature_test"
+  "signature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
