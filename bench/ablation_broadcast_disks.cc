@@ -3,15 +3,15 @@
 // cross below flat broadcast as skew grows (the Acharya et al. result),
 // while at theta = 0 their longer cycle makes them strictly worse.
 //
-// Usage: ablation_broadcast_disks [--records N] [--csv]
+// Usage: ablation_broadcast_disks [--records N] [--csv] [--jobs N]
 
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "core/report.h"
-#include "core/simulator.h"
 #include "core/testbed_config.h"
 
 namespace airindex {
@@ -20,12 +20,17 @@ namespace {
 int Main(int argc, char** argv) {
   int num_records = 5000;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       num_records = std::atoi(argv[++i]);
     }
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
+  ParallelExperiment experiment({.jobs = jobs});
 
   std::cout << "Ablation: broadcast disks vs flat broadcast under Zipf "
                "request skew\n"
@@ -47,7 +52,7 @@ int Main(int argc, char** argv) {
       config.min_rounds = 40;
       config.max_rounds = 150;
       config.seed = 12000 + static_cast<std::uint64_t>(100 * theta);
-      const Result<SimulationResult> run = RunTestbed(config);
+      const Result<SimulationResult> run = experiment.Run(config);
       if (!run.ok()) {
         std::cerr << "simulation failed: " << run.status().ToString() << "\n";
         return 1;
@@ -64,7 +69,8 @@ int Main(int argc, char** argv) {
                                3)});
   }
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
-  std::cout << "\n(ratios below 1.0 mean the multi-disk schedule wins)\n";
+  std::cout << "\n(ratios below 1.0 mean the multi-disk schedule wins)\n\n";
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

@@ -3,7 +3,7 @@
 // the client gives up. Schemes with shorter cycles (flat, signature)
 // succeed at tighter deadlines; hashing's longer cycle hurts it.
 //
-// Usage: ablation_deadline [--records N] [--csv]
+// Usage: ablation_deadline [--records N] [--csv] [--jobs N]
 
 #include <cstring>
 #include <iostream>
@@ -20,11 +20,15 @@ namespace {
 int Main(int argc, char** argv) {
   int num_records = 2000;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       num_records = std::atoi(argv[++i]);
     }
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
 
   const std::vector<SchemeKind> schemes = {
@@ -54,7 +58,8 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  const auto results = RunSweep(configs);
+  ParallelExperiment experiment({.jobs = jobs});
+  const auto results = experiment.RunSweep(configs);
 
   std::vector<std::string> columns = {"deadline/cycle"};
   for (const SchemeKind kind : schemes) {
@@ -75,6 +80,8 @@ int Main(int argc, char** argv) {
     table.AddRow(row);
   }
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

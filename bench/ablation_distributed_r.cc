@@ -4,7 +4,7 @@
 // minimum. One row per r: simulated access/tuning, model access, channel
 // shape.
 //
-// Usage: ablation_distributed_r [--records N] [--csv]
+// Usage: ablation_distributed_r [--records N] [--csv] [--jobs N]
 
 #include <cstring>
 #include <iostream>
@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "analytical/models.h"
+#include "core/experiment.h"
 #include "core/report.h"
-#include "core/simulator.h"
 #include "core/testbed_config.h"
 
 namespace airindex {
@@ -22,12 +22,17 @@ namespace {
 int Main(int argc, char** argv) {
   int num_records = 5000;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       num_records = std::atoi(argv[++i]);
     }
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
+  ParallelExperiment experiment({.jobs = jobs});
 
   const BucketGeometry geometry;
   const BTreeLevelCounts levels =
@@ -51,7 +56,7 @@ int Main(int argc, char** argv) {
     config.min_rounds = 30;
     config.max_rounds = 120;
     config.seed = 7000 + static_cast<std::uint64_t>(r);
-    const Result<SimulationResult> run = RunTestbed(config);
+    const Result<SimulationResult> run = experiment.Run(config);
     if (!run.ok()) {
       std::cerr << "simulation failed: " << run.status().ToString() << "\n";
       return 1;
@@ -77,6 +82,8 @@ int Main(int argc, char** argv) {
             << (best_r == optimal
                     ? " (matches the model-optimal choice)\n"
                     : " (model-optimal differs; see access columns)\n");
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

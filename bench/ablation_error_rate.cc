@@ -3,15 +3,15 @@
 // schemes whose protocols read more buckets (flat, signature) degrade
 // faster than the few-probe schemes (hashing, distributed).
 //
-// Usage: ablation_error_rate [--records N] [--csv]
+// Usage: ablation_error_rate [--records N] [--csv] [--jobs N]
 
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "core/report.h"
-#include "core/simulator.h"
 #include "core/testbed_config.h"
 
 namespace airindex {
@@ -20,12 +20,17 @@ namespace {
 int Main(int argc, char** argv) {
   int num_records = 2000;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       num_records = std::atoi(argv[++i]);
     }
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
+  ParallelExperiment experiment({.jobs = jobs});
 
   const std::vector<SchemeKind> schemes = {
       SchemeKind::kFlat, SchemeKind::kDistributed, SchemeKind::kHashing,
@@ -57,7 +62,7 @@ int Main(int argc, char** argv) {
       config.min_rounds = 30;
       config.max_rounds = 120;
       config.seed = 13000 + static_cast<std::uint64_t>(1e6 * rate);
-      const Result<SimulationResult> run = RunTestbed(config);
+      const Result<SimulationResult> run = experiment.Run(config);
       if (!run.ok()) {
         std::cerr << "simulation failed: " << run.status().ToString() << "\n";
         return 1;
@@ -82,6 +87,8 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << "\nfound rate (retry budget 64):\n";
   csv ? found_table.PrintCsv(std::cout) : found_table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

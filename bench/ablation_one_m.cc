@@ -1,7 +1,7 @@
 // Ablation A2 (DESIGN.md): (1,m) indexing's sensitivity to the index
 // replication count m around the analytical optimum m* = sqrt(Nr/I).
 //
-// Usage: ablation_one_m [--records N] [--csv]
+// Usage: ablation_one_m [--records N] [--csv] [--jobs N]
 
 #include <algorithm>
 #include <cstring>
@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "analytical/models.h"
+#include "core/experiment.h"
 #include "core/report.h"
-#include "core/simulator.h"
 #include "core/testbed_config.h"
 
 namespace airindex {
@@ -20,12 +20,17 @@ namespace {
 int Main(int argc, char** argv) {
   int num_records = 5000;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       num_records = std::atoi(argv[++i]);
     }
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
+  ParallelExperiment experiment({.jobs = jobs});
 
   const BucketGeometry geometry;
   const int optimal = OneMOptimalMExact(num_records, geometry);
@@ -50,7 +55,7 @@ int Main(int argc, char** argv) {
     config.min_rounds = 30;
     config.max_rounds = 120;
     config.seed = 8000 + static_cast<std::uint64_t>(m);
-    const Result<SimulationResult> run = RunTestbed(config);
+    const Result<SimulationResult> run = experiment.Run(config);
     if (!run.ok()) {
       std::cerr << "simulation failed: " << run.status().ToString() << "\n";
       return 1;
@@ -71,6 +76,8 @@ int Main(int argc, char** argv) {
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
   std::cout << "\nsimulated best m = " << best_m
             << (best_m == optimal ? " (matches m*)\n" : "\n");
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

@@ -3,15 +3,15 @@
 // simple signature indexing; this bench quantifies what the two
 // extensions buy (tuning) and cost (access) on the same workload.
 //
-// Usage: ablation_signature_family [--records N] [--csv]
+// Usage: ablation_signature_family [--records N] [--csv] [--jobs N]
 
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "core/report.h"
-#include "core/simulator.h"
 #include "core/testbed_config.h"
 
 namespace airindex {
@@ -20,12 +20,17 @@ namespace {
 int Main(int argc, char** argv) {
   int num_records = 5000;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       num_records = std::atoi(argv[++i]);
     }
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
+  ParallelExperiment experiment({.jobs = jobs});
 
   std::cout << "Ablation: signature family (simple / integrated / "
                "multi-level)\n"
@@ -43,7 +48,7 @@ int Main(int argc, char** argv) {
     config.min_rounds = 30;
     config.max_rounds = 120;
     config.seed = 11000 + static_cast<std::uint64_t>(group);
-    const Result<SimulationResult> run = RunTestbed(config);
+    const Result<SimulationResult> run = experiment.Run(config);
     if (!run.ok()) {
       std::cerr << "simulation failed: " << run.status().ToString() << "\n";
       return false;
@@ -68,6 +73,8 @@ int Main(int argc, char** argv) {
     if (!run_one(SchemeKind::kMultiLevelSignature, group)) return 1;
   }
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

@@ -3,7 +3,7 @@
 // and (2) access time vs tuning time. Sweeps the signature bucket size It
 // and reports the measured false-drop rate alongside both metrics.
 //
-// Usage: ablation_signature_width [--records N] [--csv]
+// Usage: ablation_signature_width [--records N] [--csv] [--jobs N]
 
 #include <cstring>
 #include <iostream>
@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "analytical/models.h"
+#include "core/experiment.h"
 #include "core/report.h"
-#include "core/simulator.h"
 #include "core/testbed_config.h"
 #include "data/dataset.h"
 #include "schemes/signature.h"
@@ -24,12 +24,17 @@ namespace {
 int Main(int argc, char** argv) {
   int num_records = 5000;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       num_records = std::atoi(argv[++i]);
     }
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
+  ParallelExperiment experiment({.jobs = jobs});
 
   std::cout << "Ablation: signature width It vs false drops\n"
             << "Nr = " << num_records
@@ -46,7 +51,7 @@ int Main(int argc, char** argv) {
     config.min_rounds = 30;
     config.max_rounds = 120;
     config.seed = 9000 + static_cast<std::uint64_t>(width);
-    const Result<SimulationResult> run = RunTestbed(config);
+    const Result<SimulationResult> run = experiment.Run(config);
     if (!run.ok()) {
       std::cerr << "simulation failed: " << run.status().ToString() << "\n";
       return 1;
@@ -71,6 +76,8 @@ int Main(int argc, char** argv) {
                   FormatDouble(model.tuning_time, 0)});
   }
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

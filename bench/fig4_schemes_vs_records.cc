@@ -3,10 +3,14 @@
 // distributed indexing, simple hashing and signature indexing — both the
 // simulated series "(S)" and the analytical series "(A)".
 //
-// Usage: fig4_schemes_vs_records [--quick] [--csv]
-//   --quick  fewer record counts and rounds (CI-friendly)
-//   --csv    emit CSV instead of aligned tables
+// Usage: fig4_schemes_vs_records [--quick] [--csv] [--jobs N]
+//   --quick   fewer record counts and rounds (CI-friendly)
+//   --csv     emit CSV instead of aligned tables
+//   --jobs N  worker threads for the replication engine (default: all
+//             cores; 1 = serial). Statistics are bit-identical for every
+//             N; only the timing summary changes.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -29,9 +33,13 @@ struct SchemeUnderTest {
 int Main(int argc, char** argv) {
   bool quick = false;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
 
   // The 2000/5000 points sit either side of 17^3 = 4913 records, where
@@ -77,7 +85,8 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  const auto runs = RunSweep(configs);
+  ParallelExperiment experiment({.jobs = jobs});
+  const auto runs = experiment.RunSweep(configs);
 
   std::size_t index = 0;
   for (const int num_records : record_counts) {
@@ -140,6 +149,8 @@ int Main(int argc, char** argv) {
   csv ? access_table.PrintCsv(std::cout) : access_table.Print(std::cout);
   std::cout << "\n(b) Tuning time (bytes) vs number of data records\n";
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

@@ -7,8 +7,9 @@
 // its tuning time dwarfs every scheme's; we print it in the access panel
 // only, exactly as the paper plots it.
 //
-// Usage: fig5_data_availability [--quick] [--csv]
+// Usage: fig5_data_availability [--quick] [--csv] [--jobs N]
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -31,9 +32,13 @@ struct SchemeUnderTest {
 int Main(int argc, char** argv) {
   bool quick = false;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
 
   constexpr int kNumRecords = 5000;
@@ -79,7 +84,8 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  const auto runs = RunSweep(configs);
+  ParallelExperiment experiment({.jobs = jobs});
+  const auto runs = experiment.RunSweep(configs);
 
   std::size_t index = 0;
   for (const int percent : availability_percents) {
@@ -110,6 +116,8 @@ int Main(int argc, char** argv) {
   csv ? access_table.PrintCsv(std::cout) : access_table.Print(std::cout);
   std::cout << "\n(b) Tuning time (bytes) vs data availability\n";
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

@@ -4,8 +4,9 @@
 // indexing, (1,m) indexing, distributed indexing and simple hashing.
 // As in the paper, plain broadcast appears only in the access panel.
 //
-// Usage: fig6_record_key_ratio [--quick] [--csv]
+// Usage: fig6_record_key_ratio [--quick] [--csv] [--jobs N]
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -28,9 +29,13 @@ struct SchemeUnderTest {
 int Main(int argc, char** argv) {
   bool quick = false;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
 
   constexpr int kNumRecords = 5000;
@@ -75,7 +80,8 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  const auto runs = RunSweep(configs);
+  ParallelExperiment experiment({.jobs = jobs});
+  const auto runs = experiment.RunSweep(configs);
 
   std::size_t index = 0;
   for (const int ratio : ratios) {
@@ -106,6 +112,8 @@ int Main(int argc, char** argv) {
   csv ? access_table.PrintCsv(std::cout) : access_table.Print(std::cout);
   std::cout << "\n(b) Tuning time (bytes) vs record/key ratio\n";
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

@@ -4,15 +4,15 @@
 // access), while in-group signature sifting keeps tuning near the tree
 // schemes instead of the signature scheme's linear scan.
 //
-// Usage: hybrid_comparison [--records N] [--csv]
+// Usage: hybrid_comparison [--records N] [--csv] [--jobs N]
 
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "core/report.h"
-#include "core/simulator.h"
 #include "core/testbed_config.h"
 
 namespace airindex {
@@ -21,12 +21,17 @@ namespace {
 int Main(int argc, char** argv) {
   int num_records = 5000;
   bool csv = false;
+  int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
       num_records = std::atoi(argv[++i]);
     }
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    }
   }
+  ParallelExperiment experiment({.jobs = jobs});
 
   std::cout << "Hybrid index+signature vs its parents\n"
             << "Nr = " << num_records << ", Table 1 geometry\n\n";
@@ -41,7 +46,7 @@ int Main(int argc, char** argv) {
     config.min_rounds = 30;
     config.max_rounds = 120;
     config.seed = 14000 + static_cast<std::uint64_t>(group);
-    const Result<SimulationResult> run = RunTestbed(config);
+    const Result<SimulationResult> run = experiment.Run(config);
     if (!run.ok()) {
       std::cerr << "simulation failed: " << run.status().ToString() << "\n";
       return false;
@@ -63,6 +68,8 @@ int Main(int argc, char** argv) {
     if (!run_one(SchemeKind::kHybrid, group)) return 1;
   }
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
   return 0;
 }
 

@@ -1,3 +1,4 @@
+// Layer: 4 (analytical) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_ANALYTICAL_MODELS_H_
 #define AIRINDEX_ANALYTICAL_MODELS_H_
 

@@ -1,3 +1,4 @@
+// Layer: 3 (broadcast) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_BROADCAST_CHANNEL_H_
 #define AIRINDEX_BROADCAST_CHANNEL_H_
 

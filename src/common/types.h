@@ -1,3 +1,4 @@
+// Layer: 0 (common) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_COMMON_TYPES_H_
 #define AIRINDEX_COMMON_TYPES_H_
 

@@ -24,6 +24,14 @@ class AccuracyController {
     tuning_.AddObservation(tuning_mean);
   }
 
+  /// Merges another controller's rounds into this one. See
+  /// ConfidenceEstimator::Merge for the ordering requirement that keeps
+  /// merged stopping decisions bit-identical.
+  void Merge(const AccuracyController& other) {
+    access_.Merge(other.access_);
+    tuning_.Merge(other.tuning_);
+  }
+
   /// Number of rounds observed.
   int rounds() const { return access_.count(); }
 

@@ -1,11 +1,130 @@
 #include "core/experiment.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <chrono>
 #include <utility>
 
+#include "core/accuracy_controller.h"
+#include "des/random.h"
+
 namespace airindex {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ParallelExperiment::ParallelExperiment(ParallelOptions options)
+    : pool_(options.jobs) {
+  timing_.jobs = pool_.size();
+}
+
+Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  if (Status s = ValidateTestbedConfig(config); !s.ok()) return s;
+
+  // Build the dataset and broadcast channel once; replications share them
+  // read-only (the access protocols never mutate the channel).
+  Result<std::shared_ptr<const Dataset>> dataset_result =
+      BuildTestbedDataset(config);
+  if (!dataset_result.ok()) return dataset_result.status();
+  const std::shared_ptr<const Dataset> dataset =
+      std::move(dataset_result).value();
+  Result<BroadcastServer> server_result = BroadcastServer::Create(
+      config.scheme, dataset, config.geometry, config.params);
+  if (!server_result.ok()) return server_result.status();
+  const BroadcastServer server = std::move(server_result).value();
+
+  AccuracyController accuracy(config.confidence_level,
+                              config.confidence_accuracy);
+  SimulationResult merged;
+  int rounds = 0;
+  bool stop = false;
+  int next_id = 0;
+
+  while (!stop && next_id < config.max_rounds) {
+    // First wave: the guaranteed minimum (the rule cannot fire before
+    // min_rounds), padded to the pool width so no worker idles. Later
+    // waves: one replication per worker.
+    int wave = next_id == 0 ? std::max(config.min_rounds, pool_.size())
+                            : pool_.size();
+    wave = std::min(wave, config.max_rounds - next_id);
+
+    std::vector<ReplicationResult> replications(
+        static_cast<std::size_t>(wave));
+    for (int i = 0; i < wave; ++i) {
+      const std::uint64_t seed = ReplicationSeed(
+          config.seed, static_cast<std::uint64_t>(next_id + i));
+      ReplicationResult* slot = &replications[static_cast<std::size_t>(i)];
+      pool_.Submit([&server, &dataset, &config, seed, slot]() {
+        *slot = RunReplication(server, *dataset, config, seed);
+      });
+    }
+    pool_.Wait();
+    timing_.replications_run += wave;
+
+    // Merge in replication-id order; the stopping decision depends only
+    // on the ordered stream, never on which worker ran what.
+    for (int i = 0; i < wave && !stop; ++i) {
+      const ReplicationResult& replication =
+          replications[static_cast<std::size_t>(i)];
+      merged.access.Merge(replication.access);
+      merged.tuning.Merge(replication.tuning);
+      merged.probes.Merge(replication.probes);
+      merged.access_histogram.Merge(replication.access_histogram);
+      merged.tuning_histogram.Merge(replication.tuning_histogram);
+      merged.found += replication.found;
+      merged.abandoned += replication.abandoned;
+      merged.false_drops += replication.false_drops;
+      merged.anomalies += replication.anomalies;
+      merged.outcome_mismatches += replication.outcome_mismatches;
+      accuracy.AddRound(replication.round_access_mean,
+                        replication.round_tuning_mean);
+      ++rounds;
+      if ((rounds >= config.min_rounds && accuracy.Satisfied()) ||
+          rounds >= config.max_rounds) {
+        stop = true;
+      }
+    }
+    next_id += wave;
+  }
+
+  merged.requests = merged.access.count();
+  merged.rounds = rounds;
+  merged.converged = accuracy.Satisfied();
+  merged.access_check = accuracy.access_check();
+  merged.tuning_check = accuracy.tuning_check();
+
+  const Channel& channel = server.channel();
+  merged.cycle_bytes = channel.cycle_bytes();
+  merged.num_buckets = static_cast<std::int64_t>(channel.num_buckets());
+  merged.num_index_buckets =
+      static_cast<std::int64_t>(channel.num_index_buckets());
+  merged.num_signature_buckets =
+      static_cast<std::int64_t>(channel.num_signature_buckets());
+  merged.num_data_buckets =
+      static_cast<std::int64_t>(channel.num_data_buckets());
+
+  timing_.replications_merged += rounds;
+  timing_.wall_seconds += SecondsSince(start);
+  timing_.busy_seconds = pool_.busy_seconds();
+  return merged;
+}
+
+std::vector<Result<SimulationResult>> ParallelExperiment::RunSweep(
+    const std::vector<TestbedConfig>& configs) {
+  std::vector<Result<SimulationResult>> results;
+  results.reserve(configs.size());
+  for (const TestbedConfig& config : configs) {
+    results.push_back(Run(config));
+  }
+  return results;
+}
 
 std::vector<Result<SimulationResult>> RunSweep(
     const std::vector<TestbedConfig>& configs, int threads) {
@@ -16,29 +135,13 @@ std::vector<Result<SimulationResult>> RunSweep(
   }
   if (configs.empty()) return results;
 
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
+  if (threads > 0) {
+    threads = std::min<int>(threads, static_cast<int>(configs.size()));
   }
-  threads = std::min<int>(threads, static_cast<int>(configs.size()));
-
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&]() {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= configs.size()) break;
-      results[i] = RunTestbed(configs[i]);
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
+  ThreadPool pool(threads);
+  ParallelFor(pool, configs.size(), [&](std::size_t i) {
+    results[i] = RunTestbed(configs[i]);
+  });
   return results;
 }
 

@@ -1,21 +1,86 @@
+// Layer: 5 (core) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_CORE_EXPERIMENT_H_
 #define AIRINDEX_CORE_EXPERIMENT_H_
 
 #include <vector>
 
 #include "common/result.h"
+#include "core/report.h"
 #include "core/simulator.h"
 #include "core/testbed_config.h"
+#include "core/thread_pool.h"
 
 namespace airindex {
+
+/// Options of the parallel replication engine.
+struct ParallelOptions {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  /// jobs = 1 runs every replication serially on one worker — today's
+  /// single-threaded behaviour — and, by construction, produces exactly
+  /// the same statistics as any other jobs value.
+  int jobs = 0;
+};
+
+/// Multi-threaded replication engine.
+///
+/// The paper's adaptive testbed repeats rounds of `requests_per_round`
+/// requests until the Student-t stopping rule converges. Rounds are
+/// statistically independent, so this engine runs them as independent
+/// *replications*, fanned out across a thread pool:
+///
+///  - Replication `id` draws its RNG stream from
+///    ReplicationSeed(config.seed, id) = seed ^ splitmix64(id)
+///    (des/random.h), so its outcome depends only on (config, id) — never
+///    on worker identity or scheduling.
+///  - Each worker accumulates a local ReplicationResult (RunningStats,
+///    histograms, counters); the coordinator merges results in
+///    replication-id order and feeds each round's means to the
+///    AccuracyController, so the Student-t check runs on the merged
+///    stream exactly as it would serially.
+///  - Replications are launched in waves (first wave: min_rounds, the
+///    guaranteed minimum; then one wave per pool width). When the
+///    stopping rule fires mid-wave, the later speculative replications
+///    are discarded unmerged — at most jobs-1 replications of waste.
+///
+/// Consequence: `Run` is bit-identical for every jobs value, and the
+/// adaptive stopping behaviour (which replication stops the run) is
+/// preserved exactly.
+class ParallelExperiment {
+ public:
+  explicit ParallelExperiment(ParallelOptions options = {});
+
+  ParallelExperiment(const ParallelExperiment&) = delete;
+  ParallelExperiment& operator=(const ParallelExperiment&) = delete;
+
+  /// Runs one configuration to convergence (or max_rounds).
+  Result<SimulationResult> Run(const TestbedConfig& config);
+
+  /// Runs a grid of configurations, one result per config in input
+  /// order. Grid points run sequentially with their replications
+  /// parallelised, so each point's statistics are independent of the
+  /// grid around it (and of jobs).
+  std::vector<Result<SimulationResult>> RunSweep(
+      const std::vector<TestbedConfig>& configs);
+
+  /// Timing accumulated over every Run/RunSweep call on this engine.
+  const RunTiming& timing() const { return timing_; }
+
+  /// Worker threads in use.
+  int jobs() const { return pool_.size(); }
+
+ private:
+  ThreadPool pool_;
+  RunTiming timing_;
+};
 
 /// Runs a batch of independent testbed configurations, optionally in
 /// parallel, returning one result per configuration in input order.
 ///
-/// Every simulation is seeded and self-contained, so a sweep (a figure's
-/// grid of scheme x parameter points) is embarrassingly parallel;
-/// `threads` <= 0 uses the hardware concurrency. Results are identical
-/// to running the configurations one by one.
+/// This is the legacy config-level sweep: each configuration runs as one
+/// serial RunTestbed (the continuous-stream simulation), so results are
+/// identical to running the configurations one by one. Prefer
+/// ParallelExperiment, which also parallelises replications *within* a
+/// configuration. `threads` <= 0 uses the hardware concurrency.
 std::vector<Result<SimulationResult>> RunSweep(
     const std::vector<TestbedConfig>& configs, int threads = 0);
 

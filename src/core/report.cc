@@ -57,4 +57,25 @@ std::string FormatDouble(double value, int digits) {
   return buffer;
 }
 
+double RunTiming::replications_per_second() const {
+  return wall_seconds > 0.0
+             ? static_cast<double>(replications_run) / wall_seconds
+             : 0.0;
+}
+
+double RunTiming::worker_utilization() const {
+  const double capacity = wall_seconds * static_cast<double>(jobs);
+  if (capacity <= 0.0) return 0.0;
+  return std::min(1.0, busy_seconds / capacity);
+}
+
+void PrintTimingSummary(std::ostream& os, const RunTiming& timing) {
+  os << "timing: jobs " << timing.jobs << " | replications "
+     << timing.replications_run << " (" << timing.replications_merged
+     << " merged) | wall " << FormatDouble(timing.wall_seconds, 2)
+     << " s | " << FormatDouble(timing.replications_per_second(), 1)
+     << " reps/s | worker utilization "
+     << FormatDouble(100.0 * timing.worker_utilization(), 0) << "%\n";
+}
+
 }  // namespace airindex

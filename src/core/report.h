@@ -34,6 +34,33 @@ class ReportTable {
 /// Formats a double with `digits` fractional digits.
 std::string FormatDouble(double value, int digits = 1);
 
+/// Wall-clock accounting of a parallel experiment run (or an accumulated
+/// series of runs). Produced by ParallelExperiment (core/experiment.h);
+/// printed by the bench drivers after their tables.
+struct RunTiming {
+  /// Worker threads in the pool.
+  int jobs = 1;
+  /// Replications executed, including speculative ones discarded after
+  /// the stopping rule fired mid-wave.
+  int replications_run = 0;
+  /// Replications whose statistics were merged into results.
+  int replications_merged = 0;
+  /// Coordinator wall time spent inside Run()/RunSweep().
+  double wall_seconds = 0.0;
+  /// Summed worker execution time (<= wall_seconds * jobs).
+  double busy_seconds = 0.0;
+
+  /// Executed replications per wall-clock second.
+  double replications_per_second() const;
+  /// Fraction of the pool's capacity spent executing, in [0, 1].
+  double worker_utilization() const;
+};
+
+/// Prints the one-line per-run timing summary, e.g.:
+///   timing: jobs 8 | replications 412 (404 merged) | wall 1.92 s |
+///   214.6 reps/s | worker utilization 93%
+void PrintTimingSummary(std::ostream& os, const RunTiming& timing);
+
 }  // namespace airindex
 
 #endif  // AIRINDEX_CORE_REPORT_H_

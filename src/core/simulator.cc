@@ -16,9 +16,7 @@
 
 namespace airindex {
 
-namespace {
-
-Status ValidateConfig(const TestbedConfig& config) {
+Status ValidateTestbedConfig(const TestbedConfig& config) {
   if (config.dataset == nullptr && config.num_records <= 0) {
     return Status::InvalidArgument("num_records must be positive");
   }
@@ -56,25 +54,30 @@ Status ValidateConfig(const TestbedConfig& config) {
   return Status::Ok();
 }
 
-}  // namespace
+Result<std::shared_ptr<const Dataset>> BuildTestbedDataset(
+    const TestbedConfig& config) {
+  if (config.dataset != nullptr) return config.dataset;
+  DatasetConfig dataset_config;
+  dataset_config.num_records = config.num_records;
+  dataset_config.key_width = static_cast<int>(config.geometry.key_bytes);
+  dataset_config.num_attributes = config.num_attributes;
+  dataset_config.attribute_width = config.attribute_width;
+  dataset_config.seed = Mix64(config.seed ^ 0xda7a5e7dULL);
+  Result<Dataset> dataset_result = Dataset::Generate(dataset_config);
+  if (!dataset_result.ok()) return dataset_result.status();
+  return std::make_shared<const Dataset>(
+      std::move(dataset_result).value());
+}
 
 Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
-  if (Status s = ValidateConfig(config); !s.ok()) return s;
+  if (Status s = ValidateTestbedConfig(config); !s.ok()) return s;
 
   // --- Initialization stage (paper Section 3). ---------------------------
-  std::shared_ptr<const Dataset> dataset = config.dataset;
-  if (dataset == nullptr) {
-    DatasetConfig dataset_config;
-    dataset_config.num_records = config.num_records;
-    dataset_config.key_width = static_cast<int>(config.geometry.key_bytes);
-    dataset_config.num_attributes = config.num_attributes;
-    dataset_config.attribute_width = config.attribute_width;
-    dataset_config.seed = Mix64(config.seed ^ 0xda7a5e7dULL);
-    Result<Dataset> dataset_result = Dataset::Generate(dataset_config);
-    if (!dataset_result.ok()) return dataset_result.status();
-    dataset =
-        std::make_shared<const Dataset>(std::move(dataset_result).value());
-  }
+  Result<std::shared_ptr<const Dataset>> dataset_result =
+      BuildTestbedDataset(config);
+  if (!dataset_result.ok()) return dataset_result.status();
+  const std::shared_ptr<const Dataset> dataset =
+      std::move(dataset_result).value();
 
   Result<BroadcastServer> server_result = BroadcastServer::Create(
       config.scheme, dataset, config.geometry, config.params);
@@ -151,6 +154,62 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   result.num_data_buckets =
       static_cast<std::int64_t>(channel.num_data_buckets());
   return result;
+}
+
+ReplicationResult RunReplication(const BroadcastServer& server,
+                                 const Dataset& dataset,
+                                 const TestbedConfig& config,
+                                 std::uint64_t replication_seed) {
+  // Mirrors RunTestbed's simulation stage for exactly one round: the
+  // replication draws its own request stream from `replication_seed`,
+  // generates `requests_per_round` arrivals, and drains the event queue
+  // so every generated request completes.
+  Rng master(replication_seed);
+  RequestGenerator generator(&dataset, config.data_availability,
+                             config.mean_request_interval_bytes,
+                             master.Split(), config.zipf_theta);
+  Rng error_rng = master.Split();
+  const bool unreliable = config.error_model.bucket_error_rate > 0.0;
+  ResultHandler results;
+
+  Simulation simulation;
+  int generated = 0;
+  std::function<void()> schedule_next_arrival = [&]() {
+    simulation.ScheduleIn(generator.NextInterArrival(), [&]() {
+      ++generated;
+      const Query query = generator.NextQuery();
+      const AccessResult access = ApplyDeadline(
+          unreliable
+              ? AccessWithErrors(server.scheme(), query.key,
+                                 simulation.now(), config.error_model,
+                                 &error_rng)
+              : server.Listen(query.key, simulation.now()),
+          config.deadline);
+      simulation.ScheduleIn(access.access_time, [&, access, query]() {
+        results.Add(access, query.on_air);
+      });
+      if (generated < config.requests_per_round) schedule_next_arrival();
+    });
+  };
+  schedule_next_arrival();
+  simulation.Run();
+
+  ReplicationResult replication;
+  replication.access = results.access();
+  replication.tuning = results.tuning();
+  replication.probes = results.probes();
+  replication.access_histogram = results.access_histogram();
+  replication.tuning_histogram = results.tuning_histogram();
+  replication.requests = results.requests();
+  replication.found = results.found();
+  replication.abandoned = results.abandoned();
+  replication.false_drops = results.false_drops();
+  replication.anomalies = results.anomalies();
+  replication.outcome_mismatches = results.outcome_mismatches();
+  const ResultHandler::RoundStats round = results.CloseRound();
+  replication.round_access_mean = round.access_mean;
+  replication.round_tuning_mean = round.tuning_mean;
+  return replication;
 }
 
 }  // namespace airindex

@@ -1,10 +1,13 @@
+// Layer: 5 (core) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_CORE_SIMULATOR_H_
 #define AIRINDEX_CORE_SIMULATOR_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "common/result.h"
 #include "common/types.h"
+#include "core/broadcast_server.h"
 #include "core/testbed_config.h"
 #include "stats/confidence.h"
 #include "stats/histogram.h"
@@ -61,6 +64,53 @@ struct SimulationResult {
 ///
 /// RunTestbed is the one-call entry point the benches and examples use.
 Result<SimulationResult> RunTestbed(const TestbedConfig& config);
+
+/// Checks the config the way RunTestbed does, without running anything.
+/// Exposed so alternative drivers (the parallel replication engine)
+/// reject bad configs identically.
+Status ValidateTestbedConfig(const TestbedConfig& config);
+
+/// Resolves the dataset a run broadcasts: `config.dataset` when supplied,
+/// otherwise the synthetic dataset generated from the config's record
+/// shape and master seed. Both RunTestbed and the replication engine use
+/// this, so a given config always broadcasts identical data.
+Result<std::shared_ptr<const Dataset>> BuildTestbedDataset(
+    const TestbedConfig& config);
+
+/// Outcome of one independent replication (one round of
+/// `requests_per_round` requests on a fresh simulation clock).
+///
+/// Everything here is a deterministic function of (server, dataset,
+/// config, replication_seed) — per-worker accumulation with no shared
+/// state, which is what makes replications safe to run concurrently and
+/// their merge order-independent of thread scheduling.
+struct ReplicationResult {
+  RunningStats access;
+  RunningStats tuning;
+  RunningStats probes;
+  Histogram access_histogram;
+  Histogram tuning_histogram;
+  std::int64_t requests = 0;
+  std::int64_t found = 0;
+  std::int64_t abandoned = 0;
+  std::int64_t false_drops = 0;
+  std::int64_t anomalies = 0;
+  std::int64_t outcome_mismatches = 0;
+  /// Round means — the observations the Student-t stopping rule consumes.
+  double round_access_mean = 0.0;
+  double round_tuning_mean = 0.0;
+};
+
+/// Runs one replication against an already-built broadcast channel.
+///
+/// `replication_seed` should come from ReplicationSeed(master, id)
+/// (des/random.h). Thread-safe for concurrent calls on the same server
+/// and dataset: the access protocols are pure reads of the channel, and
+/// all mutable state (RNG, event queue, accumulators) is local.
+ReplicationResult RunReplication(const BroadcastServer& server,
+                                 const Dataset& dataset,
+                                 const TestbedConfig& config,
+                                 std::uint64_t replication_seed);
 
 }  // namespace airindex
 

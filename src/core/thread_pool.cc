@@ -1,0 +1,82 @@
+#include "core/thread_pool.h"
+
+#include <chrono>
+#include <utility>
+
+namespace airindex {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this]() { return outstanding_ == 0; });
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++outstanding_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this]() { return outstanding_ == 0; });
+}
+
+double ThreadPool::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(busy_ns_) * 1e-9;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    bool drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ns_ +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count();
+      drained = (--outstanding_ == 0);
+    }
+    if (drained) all_done_.notify_all();
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.Submit([&fn, i]() { fn(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace airindex

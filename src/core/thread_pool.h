@@ -1,0 +1,74 @@
+// Layer: 5 (core) — see docs/ARCHITECTURE.md for the layer map.
+#ifndef AIRINDEX_CORE_THREAD_POOL_H_
+#define AIRINDEX_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace airindex {
+
+/// Fixed-size worker pool with a shared task queue.
+///
+/// The replication engine (core/experiment.h) fans independent simulation
+/// replications out across the pool; sweeps reuse it for independent grid
+/// points. Workers pull tasks from one queue, so load balances itself
+/// even when replications have very different runtimes (adaptive runs
+/// near convergence are much cheaper than cold ones).
+///
+/// Determinism note: the pool never influences simulation results — every
+/// task writes to its own pre-assigned slot and draws from its own
+/// pre-assigned RNG stream; scheduling order only affects wall time.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; <= 0 means hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(int num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Call from the
+  /// coordinating thread only (one coordinator per pool).
+  void Wait();
+
+  /// Total time workers have spent executing tasks, across the pool's
+  /// lifetime. busy_seconds / (wall_seconds * size()) is the pool's
+  /// utilization over a measured interval.
+  double busy_seconds() const;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  /// Queued plus currently-running tasks.
+  std::size_t outstanding_ = 0;
+  bool shutdown_ = false;
+  /// Nanoseconds of task execution, summed over workers (guarded by mu_).
+  std::int64_t busy_ns_ = 0;
+};
+
+/// Runs fn(0) .. fn(n-1) on the pool and waits for all of them.
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_THREAD_POOL_H_

@@ -1,3 +1,4 @@
+// Layer: 2 (data) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_DATA_DATASET_H_
 #define AIRINDEX_DATA_DATASET_H_
 

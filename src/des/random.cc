@@ -11,6 +11,11 @@ std::uint64_t Mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+std::uint64_t ReplicationSeed(std::uint64_t master_seed,
+                              std::uint64_t replication_id) {
+  return master_seed ^ Mix64(replication_id);
+}
+
 namespace {
 
 inline std::uint64_t Rotl(std::uint64_t x, int k) {

@@ -10,6 +10,21 @@ namespace airindex {
 /// simple-hashing scheme.
 std::uint64_t Mix64(std::uint64_t x);
 
+/// Seed of replication `replication_id` under `master_seed`:
+///
+///   seed = master_seed ^ splitmix64(replication_id)
+///
+/// Every replication of an experiment gets its own xoshiro256++ stream
+/// seeded this way, so the replication's request sequence depends only on
+/// (master_seed, replication_id) — never on which worker thread runs it
+/// or in what order. That is what lets the parallel replication engine
+/// produce bit-identical statistics for any --jobs value. The splitmix64
+/// mix keeps adjacent ids far apart in seed space; Rng then expands the
+/// seed through four more splitmix64 steps, so streams of adjacent
+/// replications start from unrelated internal states.
+std::uint64_t ReplicationSeed(std::uint64_t master_seed,
+                              std::uint64_t replication_id);
+
 /// Deterministic pseudo-random generator (xoshiro256++).
 ///
 /// The testbed requires reproducible runs: every experiment is seeded, and

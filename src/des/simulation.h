@@ -1,3 +1,4 @@
+// Layer: 1 (des) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_DES_SIMULATION_H_
 #define AIRINDEX_DES_SIMULATION_H_
 

@@ -1,3 +1,4 @@
+// Layer: 4 (schemes) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_SCHEMES_SCHEME_H_
 #define AIRINDEX_SCHEMES_SCHEME_H_
 

@@ -13,6 +13,10 @@ ConfidenceEstimator::ConfidenceEstimator(double confidence_level,
 
 void ConfidenceEstimator::AddObservation(double y) { stats_.Add(y); }
 
+void ConfidenceEstimator::Merge(const ConfidenceEstimator& other) {
+  stats_.Merge(other.stats_);
+}
+
 ConfidenceCheck ConfidenceEstimator::Check() const {
   ConfidenceCheck check;
   check.mean = stats_.mean();

@@ -36,6 +36,16 @@ class ConfidenceEstimator {
   /// Adds one observation (a round mean).
   void AddObservation(double y);
 
+  /// Merges another estimator's observations into this one (Chan et al.
+  /// combination of the underlying accumulators). Lets workers accumulate
+  /// round means locally and a coordinator run the Student-t check on the
+  /// merged stream. Merging is exact in counts and numerically stable,
+  /// but floating-point summation order differs from interleaved
+  /// AddObservation calls — for bit-identical adaptive stopping, always
+  /// merge partial estimators in a fixed (replication-id) order, as the
+  /// parallel replication engine does.
+  void Merge(const ConfidenceEstimator& other);
+
   /// Number of observations so far.
   int count() const { return static_cast<int>(stats_.count()); }
 

@@ -1,3 +1,4 @@
+// Layer: 1 (stats) — see docs/ARCHITECTURE.md for the layer map.
 #ifndef AIRINDEX_STATS_RUNNING_STATS_H_
 #define AIRINDEX_STATS_RUNNING_STATS_H_
 

@@ -1,0 +1,219 @@
+// Tests of the parallel replication engine (core/experiment.h): the
+// --jobs 1 vs --jobs 8 bit-identity guarantee, deterministic splitmix64
+// per-replication seeding with non-overlapping adjacent streams, timing
+// accounting, and merge-friendliness of the confidence stopping rule.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+#include "des/random.h"
+#include "stats/confidence.h"
+
+namespace airindex {
+namespace {
+
+TestbedConfig SmallConfig(SchemeKind kind) {
+  TestbedConfig config;
+  config.scheme = kind;
+  config.num_records = 400;
+  config.requests_per_round = 50;
+  config.min_rounds = 5;
+  config.max_rounds = 40;
+  // Loose enough that the stopping rule usually fires before max_rounds,
+  // exercising the mid-wave stop (speculative replications discarded).
+  config.confidence_accuracy = 0.05;
+  config.seed = 20240807;
+  return config;
+}
+
+/// Exact (bitwise) equality of every statistic the engine reports.
+void ExpectIdenticalResults(const SimulationResult& a,
+                            const SimulationResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.converged, b.converged);
+
+  EXPECT_EQ(a.access.count(), b.access.count());
+  EXPECT_EQ(a.access.mean(), b.access.mean());
+  EXPECT_EQ(a.access.variance(), b.access.variance());
+  EXPECT_EQ(a.access.min(), b.access.min());
+  EXPECT_EQ(a.access.max(), b.access.max());
+  EXPECT_EQ(a.tuning.mean(), b.tuning.mean());
+  EXPECT_EQ(a.tuning.variance(), b.tuning.variance());
+  EXPECT_EQ(a.probes.mean(), b.probes.mean());
+
+  EXPECT_EQ(a.access_check.mean, b.access_check.mean);
+  EXPECT_EQ(a.access_check.half_width, b.access_check.half_width);
+  EXPECT_EQ(a.access_check.relative_accuracy,
+            b.access_check.relative_accuracy);
+  EXPECT_EQ(a.tuning_check.mean, b.tuning_check.mean);
+  EXPECT_EQ(a.tuning_check.half_width, b.tuning_check.half_width);
+
+  EXPECT_EQ(a.access_histogram.count(), b.access_histogram.count());
+  EXPECT_EQ(a.access_histogram.p50(), b.access_histogram.p50());
+  EXPECT_EQ(a.access_histogram.p99(), b.access_histogram.p99());
+  EXPECT_EQ(a.tuning_histogram.p95(), b.tuning_histogram.p95());
+
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.false_drops, b.false_drops);
+  EXPECT_EQ(a.anomalies, b.anomalies);
+  EXPECT_EQ(a.outcome_mismatches, b.outcome_mismatches);
+  EXPECT_EQ(a.cycle_bytes, b.cycle_bytes);
+  EXPECT_EQ(a.num_buckets, b.num_buckets);
+}
+
+TEST(ParallelExperiment, JobsOneAndJobsEightAreBitIdentical) {
+  for (const SchemeKind kind :
+       {SchemeKind::kFlat, SchemeKind::kDistributed, SchemeKind::kHashing,
+        SchemeKind::kSignature}) {
+    SCOPED_TRACE(SchemeKindToString(kind));
+    const TestbedConfig config = SmallConfig(kind);
+    ParallelExperiment serial({.jobs = 1});
+    ParallelExperiment parallel({.jobs = 8});
+    const Result<SimulationResult> a = serial.Run(config);
+    const Result<SimulationResult> b = parallel.Run(config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectIdenticalResults(a.value(), b.value());
+  }
+}
+
+TEST(ParallelExperiment, BitIdenticalUnderErrorsDeadlinesAndSkew) {
+  // The error-model and deadline paths draw from extra RNG streams;
+  // they must be just as scheduling-independent.
+  TestbedConfig config = SmallConfig(SchemeKind::kDistributed);
+  config.error_model.bucket_error_rate = 1e-3;
+  config.deadline.access_deadline_bytes = 400 * 500;
+  config.zipf_theta = 0.8;
+  config.data_availability = 0.8;
+  ParallelExperiment serial({.jobs = 1});
+  ParallelExperiment parallel({.jobs = 8});
+  const Result<SimulationResult> a = serial.Run(config);
+  const Result<SimulationResult> b = parallel.Run(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIdenticalResults(a.value(), b.value());
+}
+
+TEST(ParallelExperiment, RepeatedRunsOnOneEngineAreIdentical) {
+  const TestbedConfig config = SmallConfig(SchemeKind::kHashing);
+  ParallelExperiment experiment({.jobs = 4});
+  const SimulationResult a = experiment.Run(config).value();
+  const SimulationResult b = experiment.Run(config).value();
+  ExpectIdenticalResults(a, b);
+}
+
+TEST(ParallelExperiment, SweepMatchesIndividualRuns) {
+  std::vector<TestbedConfig> configs = {SmallConfig(SchemeKind::kFlat),
+                                        SmallConfig(SchemeKind::kSignature)};
+  configs[1].seed = 7;
+  ParallelExperiment sweeper({.jobs = 3});
+  const auto sweep = sweeper.RunSweep(configs);
+  ASSERT_EQ(sweep.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_TRUE(sweep[i].ok());
+    ParallelExperiment single({.jobs = 3});
+    ExpectIdenticalResults(sweep[i].value(),
+                           single.Run(configs[i]).value());
+  }
+}
+
+TEST(ParallelExperiment, RejectsBadConfigsLikeRunTestbed) {
+  TestbedConfig config;
+  config.num_records = 0;
+  ParallelExperiment experiment({.jobs = 2});
+  EXPECT_FALSE(experiment.Run(config).ok());
+  config = SmallConfig(SchemeKind::kFlat);
+  config.confidence_level = 1.5;
+  EXPECT_FALSE(experiment.Run(config).ok());
+}
+
+TEST(ParallelExperiment, TimingIsAccounted) {
+  const TestbedConfig config = SmallConfig(SchemeKind::kDistributed);
+  ParallelExperiment experiment({.jobs = 2});
+  const SimulationResult result = experiment.Run(config).value();
+  const RunTiming& timing = experiment.timing();
+  EXPECT_EQ(timing.jobs, 2);
+  EXPECT_EQ(timing.replications_merged, result.rounds);
+  EXPECT_GE(timing.replications_run, timing.replications_merged);
+  EXPECT_GT(timing.wall_seconds, 0.0);
+  EXPECT_GT(timing.busy_seconds, 0.0);
+  EXPECT_GE(timing.worker_utilization(), 0.0);
+  EXPECT_LE(timing.worker_utilization(), 1.0);
+  EXPECT_GT(timing.replications_per_second(), 0.0);
+}
+
+TEST(ReplicationSeed, IsMasterSeedXorSplitmix64OfId) {
+  const std::uint64_t master = 0x1234abcdULL;
+  for (const std::uint64_t id : {0ULL, 1ULL, 2ULL, 1000ULL}) {
+    EXPECT_EQ(ReplicationSeed(master, id), master ^ Mix64(id));
+  }
+  EXPECT_NE(ReplicationSeed(master, 0), ReplicationSeed(master, 1));
+}
+
+TEST(ReplicationSeed, AdjacentIdStreamsDoNotOverlap) {
+  // Streams of adjacent replication ids must not collide: 4096 draws
+  // from each of ids {0..4} share no 64-bit output (a collision among
+  // 20480 uniform draws has probability ~1e-11, so any hit would mean
+  // correlated streams).
+  const std::uint64_t master = 42;
+  constexpr int kDraws = 4096;
+  std::set<std::uint64_t> seen;
+  std::size_t produced = 0;
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    Rng rng(ReplicationSeed(master, id));
+    for (int i = 0; i < kDraws; ++i) {
+      seen.insert(rng.NextUint64());
+      ++produced;
+    }
+  }
+  EXPECT_EQ(seen.size(), produced);
+}
+
+TEST(ReplicationResult, IsDeterministicPerSeed) {
+  const TestbedConfig config = SmallConfig(SchemeKind::kHashing);
+  const auto dataset = BuildTestbedDataset(config).value();
+  const BroadcastServer server =
+      BroadcastServer::Create(config.scheme, dataset, config.geometry,
+                              config.params)
+          .value();
+  const std::uint64_t seed = ReplicationSeed(config.seed, 3);
+  const ReplicationResult a = RunReplication(server, *dataset, config, seed);
+  const ReplicationResult b = RunReplication(server, *dataset, config, seed);
+  EXPECT_EQ(a.requests, config.requests_per_round);
+  EXPECT_EQ(a.access.mean(), b.access.mean());
+  EXPECT_EQ(a.round_access_mean, b.round_access_mean);
+  EXPECT_EQ(a.round_tuning_mean, b.round_tuning_mean);
+  // A different replication id gives a different request stream.
+  const ReplicationResult c = RunReplication(
+      server, *dataset, config, ReplicationSeed(config.seed, 4));
+  EXPECT_NE(a.access.mean(), c.access.mean());
+}
+
+TEST(ConfidenceEstimator, MergeMatchesSequentialObservations) {
+  ConfidenceEstimator whole(0.99, 0.01);
+  ConfidenceEstimator left(0.99, 0.01);
+  ConfidenceEstimator right(0.99, 0.01);
+  const std::vector<double> ys = {10.0, 10.5, 9.5, 10.2, 9.9, 10.1};
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    whole.AddObservation(ys[i]);
+    (i < 3 ? left : right).AddObservation(ys[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  const ConfidenceCheck merged = left.Check();
+  const ConfidenceCheck sequential = whole.Check();
+  EXPECT_NEAR(merged.half_width, sequential.half_width, 1e-12);
+  EXPECT_EQ(merged.satisfied, sequential.satisfied);
+}
+
+}  // namespace
+}  // namespace airindex

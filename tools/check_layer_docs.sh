@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Documentation convention check, run from ctest (see tests/CMakeLists.txt).
+#
+# Enforces two invariants that keep docs/ARCHITECTURE.md anchored to the
+# code:
+#   1. every src/<module>/ has at least one header carrying a
+#      "// Layer: <n> (<module>)" comment naming its layer, and
+#   2. every module name appears in docs/ARCHITECTURE.md (so a new module
+#      cannot land without the architecture doc mentioning it).
+#
+# Usage: tools/check_layer_docs.sh [repo-root]
+
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+arch_doc="$root/docs/ARCHITECTURE.md"
+status=0
+
+if [ ! -f "$arch_doc" ]; then
+  echo "FAIL: $arch_doc is missing" >&2
+  exit 1
+fi
+
+for dir in "$root"/src/*/; do
+  module="$(basename "$dir")"
+  if ! grep -qE "^// Layer: [0-9]+ \($module\)" "$dir"*.h 2>/dev/null; then
+    echo "FAIL: src/$module has no header with a '// Layer: <n> ($module)'" \
+         "comment naming its layer" >&2
+    status=1
+  fi
+  if ! grep -q "$module" "$arch_doc"; then
+    echo "FAIL: docs/ARCHITECTURE.md does not mention module" \
+         "'src/$module'" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: every src/ module names its layer and is covered by" \
+       "docs/ARCHITECTURE.md"
+fi
+exit $status
