@@ -4,12 +4,14 @@
 // while at theta = 0 their longer cycle makes them strictly worse.
 //
 // Usage: ablation_broadcast_disks [--records N] [--csv] [--jobs N]
+//                                 [--quick] [--json PATH]
+// (shared bench flags — see bench/bench_main.h).
 
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_main.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/testbed_config.h"
@@ -18,19 +20,13 @@ namespace airindex {
 namespace {
 
 int Main(int argc, char** argv) {
-  int num_records = 5000;
-  bool csv = false;
-  int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
-      num_records = std::atoi(argv[++i]);
-    }
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    }
-  }
-  ParallelExperiment experiment({.jobs = jobs});
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const int num_records = options.records > 0 ? options.records : 5000;
+  const bool csv = options.csv;
+  ParallelExperiment experiment({.jobs = options.jobs});
+
+  BenchReporter reporter("ablation_broadcast_disks", options);
+  reporter.AddConfig("num_records", std::to_string(num_records));
 
   std::cout << "Ablation: broadcast disks vs flat broadcast under Zipf "
                "request skew\n"
@@ -57,6 +53,10 @@ int Main(int argc, char** argv) {
         std::cerr << "simulation failed: " << run.status().ToString() << "\n";
         return 1;
       }
+      reporter.AddSimulationPoint(
+          {{"theta", FormatDouble(theta, 1)},
+           {"scheme", SchemeKindToString(kind)}},
+          run.value());
       access[idx] = run.value().access.mean();
       cycles[idx] = run.value().cycle_bytes;
       ++idx;
@@ -71,6 +71,10 @@ int Main(int argc, char** argv) {
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
   std::cout << "\n(ratios below 1.0 mean the multi-disk schedule wins)\n\n";
   PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

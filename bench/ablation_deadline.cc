@@ -4,12 +4,14 @@
 // succeed at tighter deadlines; hashing's longer cycle hurts it.
 //
 // Usage: ablation_deadline [--records N] [--csv] [--jobs N]
+//                          [--quick] [--json PATH]
+// (shared bench flags — see bench/bench_main.h).
 
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_main.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/testbed_config.h"
@@ -18,18 +20,12 @@ namespace airindex {
 namespace {
 
 int Main(int argc, char** argv) {
-  int num_records = 2000;
-  bool csv = false;
-  int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
-      num_records = std::atoi(argv[++i]);
-    }
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    }
-  }
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const int num_records = options.records > 0 ? options.records : 2000;
+  const bool csv = options.csv;
+
+  BenchReporter reporter("ablation_deadline", options);
+  reporter.AddConfig("num_records", std::to_string(num_records));
 
   const std::vector<SchemeKind> schemes = {
       SchemeKind::kFlat, SchemeKind::kOneM, SchemeKind::kDistributed,
@@ -58,7 +54,7 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  ParallelExperiment experiment({.jobs = jobs});
+  ParallelExperiment experiment({.jobs = options.jobs});
   const auto results = experiment.RunSweep(configs);
 
   std::vector<std::string> columns = {"deadline/cycle"};
@@ -75,13 +71,24 @@ int Main(int argc, char** argv) {
                   << results[index].status().ToString() << "\n";
         return 1;
       }
-      row.push_back(FormatDouble(results[index].value().found_rate(), 3));
+      const SimulationResult& sim = results[index].value();
+      BenchPoint& point = reporter.AddSimulationPoint(
+          {{"deadline_fraction", FormatDouble(fraction, 2)},
+           {"scheme", SchemeKindToString(schemes[s])}},
+          sim);
+      point.metrics.emplace_back(
+          "found_rate", BenchMetricValue{sim.found_rate(), 0.0, false});
+      row.push_back(FormatDouble(sim.found_rate(), 3));
     }
     table.AddRow(row);
   }
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

@@ -4,12 +4,14 @@
 // faster than the few-probe schemes (hashing, distributed).
 //
 // Usage: ablation_error_rate [--records N] [--csv] [--jobs N]
+//                            [--quick] [--json PATH]
+// (shared bench flags — see bench/bench_main.h).
 
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_main.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/testbed_config.h"
@@ -18,19 +20,13 @@ namespace airindex {
 namespace {
 
 int Main(int argc, char** argv) {
-  int num_records = 2000;
-  bool csv = false;
-  int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
-      num_records = std::atoi(argv[++i]);
-    }
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    }
-  }
-  ParallelExperiment experiment({.jobs = jobs});
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const int num_records = options.records > 0 ? options.records : 2000;
+  const bool csv = options.csv;
+  ParallelExperiment experiment({.jobs = options.jobs});
+
+  BenchReporter reporter("ablation_error_rate", options);
+  reporter.AddConfig("num_records", std::to_string(num_records));
 
   const std::vector<SchemeKind> schemes = {
       SchemeKind::kFlat, SchemeKind::kDistributed, SchemeKind::kHashing,
@@ -67,6 +63,10 @@ int Main(int argc, char** argv) {
         std::cerr << "simulation failed: " << run.status().ToString() << "\n";
         return 1;
       }
+      reporter.AddSimulationPoint(
+          {{"error_rate", FormatDouble(rate, 5)},
+           {"scheme", SchemeKindToString(schemes[s])}},
+          run.value());
       const double access = run.value().access.mean();
       const double tuning = run.value().tuning.mean();
       if (rate == 0.0) {
@@ -89,6 +89,10 @@ int Main(int argc, char** argv) {
   csv ? found_table.PrintCsv(std::cout) : found_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

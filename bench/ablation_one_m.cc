@@ -2,14 +2,16 @@
 // replication count m around the analytical optimum m* = sqrt(Nr/I).
 //
 // Usage: ablation_one_m [--records N] [--csv] [--jobs N]
+//                       [--quick] [--json PATH]
+// (shared bench flags — see bench/bench_main.h).
 
 #include <algorithm>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analytical/models.h"
+#include "bench_main.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/testbed_config.h"
@@ -18,19 +20,13 @@ namespace airindex {
 namespace {
 
 int Main(int argc, char** argv) {
-  int num_records = 5000;
-  bool csv = false;
-  int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
-      num_records = std::atoi(argv[++i]);
-    }
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    }
-  }
-  ParallelExperiment experiment({.jobs = jobs});
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const int num_records = options.records > 0 ? options.records : 5000;
+  const bool csv = options.csv;
+  ParallelExperiment experiment({.jobs = options.jobs});
+
+  BenchReporter reporter("ablation_one_m", options);
+  reporter.AddConfig("num_records", std::to_string(num_records));
 
   const BucketGeometry geometry;
   const int optimal = OneMOptimalMExact(num_records, geometry);
@@ -61,6 +57,7 @@ int Main(int argc, char** argv) {
       return 1;
     }
     const SimulationResult& sim = run.value();
+    reporter.AddSimulationPoint({{"m", std::to_string(m)}}, sim);
     const AnalyticalEstimate model =
         OneMModelExact(num_records, geometry, m);
     if (best_m < 0 || sim.access.mean() < best_access) {
@@ -78,6 +75,10 @@ int Main(int argc, char** argv) {
             << (best_m == optimal ? " (matches m*)\n" : "\n");
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

@@ -4,14 +4,16 @@
 // and reports the measured false-drop rate alongside both metrics.
 //
 // Usage: ablation_signature_width [--records N] [--csv] [--jobs N]
+//                                 [--quick] [--json PATH]
+// (shared bench flags — see bench/bench_main.h).
 
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analytical/models.h"
+#include "bench_main.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/testbed_config.h"
@@ -22,19 +24,13 @@ namespace airindex {
 namespace {
 
 int Main(int argc, char** argv) {
-  int num_records = 5000;
-  bool csv = false;
-  int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
-      num_records = std::atoi(argv[++i]);
-    }
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    }
-  }
-  ParallelExperiment experiment({.jobs = jobs});
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const int num_records = options.records > 0 ? options.records : 5000;
+  const bool csv = options.csv;
+  ParallelExperiment experiment({.jobs = options.jobs});
+
+  BenchReporter reporter("ablation_signature_width", options);
+  reporter.AddConfig("num_records", std::to_string(num_records));
 
   std::cout << "Ablation: signature width It vs false drops\n"
             << "Nr = " << num_records
@@ -57,6 +53,8 @@ int Main(int argc, char** argv) {
       return 1;
     }
     const SimulationResult& sim = run.value();
+    reporter.AddSimulationPoint(
+        {{"signature_bytes", std::to_string(width)}}, sim);
 
     // Measure the realized false-drop rate on the actual channel.
     DatasetConfig dataset_config;
@@ -78,6 +76,10 @@ int Main(int argc, char** argv) {
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

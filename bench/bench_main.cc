@@ -1,0 +1,100 @@
+#include "bench/bench_main.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace airindex {
+
+namespace {
+
+int ParseIntArg(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  const long value = std::strtol(argv[++*i], &end, 10);
+  if (end == argv[*i] || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "invalid value for %s: %s\n", flag, argv[*i]);
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      options.jobs = ParseIntArg(argc, argv, &i, "--jobs");
+    } else if (std::strcmp(argv[i], "--records") == 0) {
+      options.records = ParseIntArg(argc, argv, &i, "--records");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        std::exit(2);
+      }
+      options.json_path = argv[++i];
+    }
+  }
+  return options;
+}
+
+BenchReporter::BenchReporter(std::string bench_name,
+                             const BenchOptions& options)
+    : json_path_(options.json_path) {
+  report_.bench = std::move(bench_name);
+  AddConfig("quick", options.quick ? "true" : "false");
+  if (options.records > 0) {
+    AddConfig("records_override", std::to_string(options.records));
+  }
+}
+
+void BenchReporter::AddConfig(const std::string& key,
+                              const std::string& value) {
+  for (auto& [existing_key, existing_value] : report_.config) {
+    if (existing_key == key) {
+      existing_value = value;
+      return;
+    }
+  }
+  report_.config.emplace_back(key, value);
+}
+
+BenchPoint& BenchReporter::AddSimulationPoint(
+    std::vector<std::pair<std::string, std::string>> labels,
+    const SimulationResult& sim) {
+  BenchPoint point;
+  point.labels = std::move(labels);
+  point.metrics.emplace_back(
+      "access_bytes",
+      BenchMetricValue{sim.access.mean(), sim.access_check.half_width, false});
+  point.metrics.emplace_back(
+      "tuning_bytes",
+      BenchMetricValue{sim.tuning.mean(), sim.tuning_check.half_width, false});
+  point.replications = sim.rounds;
+  point.requests = sim.requests;
+  point.converged = sim.converged;
+  report_.counters.Merge(sim.metrics);
+  report_.points.push_back(std::move(point));
+  return report_.points.back();
+}
+
+void BenchReporter::AddPoint(BenchPoint point) {
+  report_.points.push_back(std::move(point));
+}
+
+Status BenchReporter::Finish(const RunTiming& timing) {
+  if (json_path_.empty()) return Status::Ok();
+  report_.timing = timing;
+  return WriteJsonFile(json_path_, BenchReportToJson(report_));
+}
+
+}  // namespace airindex

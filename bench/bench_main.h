@@ -1,0 +1,81 @@
+// Shared option parsing and structured reporting for the bench drivers.
+//
+// Every bench accepts the same base flags:
+//   --quick        fewer grid points / rounds (CI-friendly)
+//   --csv          emit CSV tables instead of aligned text
+//   --jobs N       worker threads for the replication engine (0 = all
+//                  cores; 1 = serial). Statistics are bit-identical for
+//                  every N; only the timing summary changes.
+//   --records N    override the bench's record-count grid with the single
+//                  count N (benches that sweep records honour it; others
+//                  ignore it)
+//   --json PATH    additionally write the machine-readable report
+//                  (core/json_report.h schema) to PATH
+//
+// BenchReporter accumulates the report while the bench prints its usual
+// tables, then writes the JSON file on Finish() when --json was given.
+
+#ifndef AIRINDEX_BENCH_BENCH_MAIN_H_
+#define AIRINDEX_BENCH_BENCH_MAIN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/json_report.h"
+#include "core/report.h"
+#include "core/simulator.h"
+
+namespace airindex {
+
+/// Options common to every bench driver.
+struct BenchOptions {
+  bool quick = false;
+  bool csv = false;
+  int jobs = 0;
+  /// 0 means "use the bench's own grid".
+  int records = 0;
+  /// Empty means "no JSON output".
+  std::string json_path;
+};
+
+/// Parses the shared flags, ignoring anything it does not recognise (so a
+/// bench can layer extra flags on top). Prints to stderr and exits with
+/// status 2 on a malformed value (e.g. `--jobs` without a number).
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Collects bench results into a BenchReport and writes it when --json
+/// was requested.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, const BenchOptions& options);
+
+  /// Records one config key/value pair (record counts, scheme list, ...).
+  void AddConfig(const std::string& key, const std::string& value);
+
+  /// Adds one grid point from a simulation run: access/tuning byte means
+  /// with their Student-t confidence half-widths, plus the run's counters
+  /// merged into the report totals. Returns the stored point so callers
+  /// can attach extra metrics (valid until the next Add*).
+  BenchPoint& AddSimulationPoint(
+      std::vector<std::pair<std::string, std::string>> labels,
+      const SimulationResult& sim);
+
+  /// Adds a fully-specified point (derived scalars, walltime metrics).
+  void AddPoint(BenchPoint point);
+
+  /// Writes the JSON report when --json was given; no-op otherwise.
+  /// Returns the write status so the driver can fail loudly.
+  Status Finish(const RunTiming& timing);
+
+  /// True when --json was requested.
+  bool enabled() const { return !json_path_.empty(); }
+
+ private:
+  BenchReport report_;
+  std::string json_path_;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_BENCH_BENCH_MAIN_H_

@@ -4,19 +4,15 @@
 // simulated series "(S)" and the analytical series "(A)".
 //
 // Usage: fig4_schemes_vs_records [--quick] [--csv] [--jobs N]
-//   --quick   fewer record counts and rounds (CI-friendly)
-//   --csv     emit CSV instead of aligned tables
-//   --jobs N  worker threads for the replication engine (default: all
-//             cores; 1 = serial). Statistics are bit-identical for every
-//             N; only the timing summary changes.
+//                                [--records N] [--json PATH]
+// (shared bench flags — see bench/bench_main.h).
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analytical/models.h"
+#include "bench_main.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/simulator.h"
@@ -31,25 +27,19 @@ struct SchemeUnderTest {
 };
 
 int Main(int argc, char** argv) {
-  bool quick = false;
-  bool csv = false;
-  int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    }
-  }
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const bool quick = options.quick;
+  const bool csv = options.csv;
 
   // The 2000/5000 points sit either side of 17^3 = 4913 records, where
   // the index tree gains a level — the single step the paper observes in
   // distributed indexing's tuning time "somewhere between 5000 and 10000
   // data records".
-  const std::vector<int> record_counts =
+  std::vector<int> record_counts =
       quick ? std::vector<int>{7000, 16000, 25000}
             : std::vector<int>{2000, 5000, 7000, 11500, 16000, 20500, 25000,
                                29500, 34000};
+  if (options.records > 0) record_counts = {options.records};
   const std::vector<SchemeUnderTest> schemes = {
       {SchemeKind::kFlat, "flat"},
       {SchemeKind::kDistributed, "distributed"},
@@ -64,6 +54,16 @@ int Main(int argc, char** argv) {
   }
   ReportTable access_table(columns);
   ReportTable tuning_table(columns);
+
+  BenchReporter reporter("fig4_schemes_vs_records", options);
+  {
+    std::string counts;
+    for (const int n : record_counts) {
+      if (!counts.empty()) counts += ",";
+      counts += std::to_string(n);
+    }
+    reporter.AddConfig("record_counts", counts);
+  }
 
   std::cout << "Figure 4: access/tuning time vs number of data records\n"
             << "Table 1 settings: 500 B records, 25 B keys, availability "
@@ -85,7 +85,7 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  ParallelExperiment experiment({.jobs = jobs});
+  ParallelExperiment experiment({.jobs = options.jobs});
   const auto runs = experiment.RunSweep(configs);
 
   std::size_t index = 0;
@@ -100,6 +100,9 @@ int Main(int argc, char** argv) {
         return 1;
       }
       const SimulationResult& sim = run.value();
+      reporter.AddSimulationPoint(
+          {{"records", std::to_string(num_records)}, {"scheme", scheme.label}},
+          sim);
 
       AnalyticalEstimate model;
       switch (scheme.kind) {
@@ -151,6 +154,10 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

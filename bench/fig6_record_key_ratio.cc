@@ -5,13 +5,14 @@
 // As in the paper, plain broadcast appears only in the access panel.
 //
 // Usage: fig6_record_key_ratio [--quick] [--csv] [--jobs N]
+//                              [--records N] [--json PATH]
+// (shared bench flags — see bench/bench_main.h).
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_main.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/simulator.h"
@@ -27,18 +28,11 @@ struct SchemeUnderTest {
 };
 
 int Main(int argc, char** argv) {
-  bool quick = false;
-  bool csv = false;
-  int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    }
-  }
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const bool quick = options.quick;
+  const bool csv = options.csv;
 
-  constexpr int kNumRecords = 5000;
+  const int kNumRecords = options.records > 0 ? options.records : 5000;
   const std::vector<int> ratios =
       quick ? std::vector<int>{5, 20, 100}
             : std::vector<int>{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
@@ -58,6 +52,9 @@ int Main(int argc, char** argv) {
   }
   ReportTable access_table(access_columns);
   ReportTable tuning_table(tuning_columns);
+
+  BenchReporter reporter("fig6_record_key_ratio", options);
+  reporter.AddConfig("num_records", std::to_string(kNumRecords));
 
   std::cout << "Figure 6: access/tuning time vs record/key ratio\n"
             << "Nr = " << kNumRecords
@@ -80,7 +77,7 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  ParallelExperiment experiment({.jobs = jobs});
+  ParallelExperiment experiment({.jobs = options.jobs});
   const auto runs = experiment.RunSweep(configs);
 
   std::size_t index = 0;
@@ -94,6 +91,8 @@ int Main(int argc, char** argv) {
         return 1;
       }
       const SimulationResult& sim = run.value();
+      reporter.AddSimulationPoint(
+          {{"ratio", std::to_string(ratio)}, {"scheme", scheme.label}}, sim);
       access_row.push_back(FormatDouble(sim.access.mean(), 0));
       if (scheme.in_tuning_panel) {
         tuning_row.push_back(FormatDouble(sim.tuning.mean(), 0));
@@ -114,6 +113,10 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

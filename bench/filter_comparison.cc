@@ -2,13 +2,15 @@
 // data on air") — signature sifting vs the flat-broadcast baseline, the
 // query class B+-tree air indexes cannot serve. Sweeps signature width.
 //
-// Usage: filter_comparison [--records N] [--csv]
+// Usage: filter_comparison [--records N] [--csv] [--json PATH]
+// (shared bench flags — see bench/bench_main.h; --quick and --jobs are
+// accepted but have no effect here: the filter walk is deterministic).
 
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "bench_main.h"
 #include "core/report.h"
 #include "data/dataset.h"
 #include "des/random.h"
@@ -19,14 +21,12 @@ namespace airindex {
 namespace {
 
 int Main(int argc, char** argv) {
-  int num_records = 5000;
-  bool csv = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
-      num_records = std::atoi(argv[++i]);
-    }
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-  }
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const int num_records = options.records > 0 ? options.records : 5000;
+  const bool csv = options.csv;
+
+  BenchReporter reporter("filter_comparison", options);
+  reporter.AddConfig("num_records", std::to_string(num_records));
 
   DatasetConfig dataset_config;
   dataset_config.num_records = num_records;
@@ -77,8 +77,26 @@ int Main(int argc, char** argv) {
                   FormatDouble(sig_tuning / flat_tuning, 4),
                   FormatDouble(drops / kQueries, 2),
                   FormatDouble(matches / kQueries, 2)});
+
+    BenchPoint point;
+    point.labels = {{"signature_bytes", std::to_string(width)}};
+    point.metrics = {
+        {"sig_tuning_bytes",
+         BenchMetricValue{sig_tuning / kQueries, 0.0, false}},
+        {"flat_tuning_bytes",
+         BenchMetricValue{flat_tuning / kQueries, 0.0, false}},
+        {"false_drops_per_query",
+         BenchMetricValue{drops / kQueries, 0.0, false}},
+    };
+    point.replications = 1;
+    point.requests = kQueries;
+    reporter.AddPoint(std::move(point));
   }
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
+  if (Status s = reporter.Finish(RunTiming{}); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

@@ -5,12 +5,14 @@
 // schemes instead of the signature scheme's linear scan.
 //
 // Usage: hybrid_comparison [--records N] [--csv] [--jobs N]
+//                          [--quick] [--json PATH]
+// (shared bench flags — see bench/bench_main.h).
 
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_main.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/testbed_config.h"
@@ -19,19 +21,13 @@ namespace airindex {
 namespace {
 
 int Main(int argc, char** argv) {
-  int num_records = 5000;
-  bool csv = false;
-  int jobs = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
-      num_records = std::atoi(argv[++i]);
-    }
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    }
-  }
-  ParallelExperiment experiment({.jobs = jobs});
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const int num_records = options.records > 0 ? options.records : 5000;
+  const bool csv = options.csv;
+  ParallelExperiment experiment({.jobs = options.jobs});
+
+  BenchReporter reporter("hybrid_comparison", options);
+  reporter.AddConfig("num_records", std::to_string(num_records));
 
   std::cout << "Hybrid index+signature vs its parents\n"
             << "Nr = " << num_records << ", Table 1 geometry\n\n";
@@ -52,6 +48,9 @@ int Main(int argc, char** argv) {
       return false;
     }
     const SimulationResult& sim = run.value();
+    reporter.AddSimulationPoint({{"scheme", SchemeKindToString(kind)},
+                                 {"group", std::to_string(group)}},
+                                sim);
     table.AddRow({SchemeKindToString(kind),
                   kind == SchemeKind::kHybrid ? std::to_string(group) : "-",
                   std::to_string(sim.num_index_buckets),
@@ -70,6 +69,10 @@ int Main(int argc, char** argv) {
   csv ? table.PrintCsv(std::cout) : table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

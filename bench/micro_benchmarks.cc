@@ -2,11 +2,19 @@
 // construction per scheme, client access walks, event-queue throughput,
 // and the RNG. These measure *implementation* speed (wall clock), unlike
 // the figure benches, which measure *simulated* bytes.
+//
+// Accepts google-benchmark's own flags plus --json PATH, which emits the
+// shared bench-report schema with one walltime point per benchmark.
 
+#include <cstring>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "data/dataset.h"
 #include "des/event_queue.h"
 #include "des/random.h"
@@ -95,7 +103,82 @@ BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_RngUint64);
 BENCHMARK(BM_RngExponential);
 
+/// Console reporter that also captures each run's name and per-iteration
+/// wall time, so --json can emit them in the shared report schema.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Run {
+    std::string name;
+    double real_ns_per_iter;
+    std::int64_t iterations;
+  };
+
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<benchmark::BenchmarkReporter::Run>& runs)
+      override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      runs_.push_back({run.benchmark_name(),
+                       run.GetAdjustedRealTime(),
+                       static_cast<std::int64_t>(run.iterations)});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+int Main(int argc, char** argv) {
+  // Split off --json before handing the rest to google-benchmark (it
+  // rejects flags it does not know).
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int passthrough_argc = static_cast<int>(passthrough.size());
+
+  benchmark::Initialize(&passthrough_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(passthrough_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_path.empty()) return 0;
+  BenchReport report;
+  report.bench = "micro_benchmarks";
+  for (const CapturingReporter::Run& run : reporter.runs()) {
+    BenchPoint point;
+    point.labels = {{"benchmark", run.name}};
+    point.metrics = {{"real_ns_per_iter",
+                      BenchMetricValue{run.real_ns_per_iter, 0.0, true}}};
+    point.replications = 1;
+    point.requests = run.iterations;
+    report.points.push_back(std::move(point));
+  }
+  if (Status s = WriteJsonFile(json_path, BenchReportToJson(report));
+      !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace airindex
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

@@ -74,6 +74,16 @@ Bytes Channel::NextBoundaryTime(Bytes now) const {
   return now + (end_phase(i) - phase);
 }
 
+std::int64_t Channel::BucketsBroadcastBy(Bytes now) const {
+  if (now <= 0) return 0;
+  const Bytes cycles = now / cycle_bytes_;
+  const Bytes phase = now % cycle_bytes_;
+  // BucketAtPhase names the bucket containing `phase` (or just starting
+  // there), which equals the number of complete buckets this cycle.
+  const auto partial = static_cast<std::int64_t>(BucketAtPhase(phase));
+  return cycles * static_cast<std::int64_t>(buckets_.size()) + partial;
+}
+
 Bytes Channel::NextArrivalOfPhase(Bytes phase, Bytes now) const {
   const Bytes current = now % cycle_bytes_;
   Bytes delta = phase - current;

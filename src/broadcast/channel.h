@@ -66,6 +66,12 @@ class Channel {
   /// If `now` is already at that phase, returns `now`.
   Bytes NextArrivalOfPhase(Bytes phase, Bytes now) const;
 
+  /// Number of buckets the server has fully broadcast by absolute time
+  /// `now` (>= 0): whole cycles times the cycle's bucket count, plus the
+  /// complete buckets of the partial cycle. The telemetry layer reports
+  /// this as the server-side "buckets broadcast" counter.
+  std::int64_t BucketsBroadcastBy(Bytes now) const;
+
   /// Count of buckets of each kind.
   std::size_t num_data_buckets() const { return num_data_; }
   std::size_t num_index_buckets() const { return num_index_; }

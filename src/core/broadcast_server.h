@@ -38,6 +38,12 @@ class BroadcastServer {
     return scheme_->Access(key, tune_in);
   }
 
+  /// Buckets the server has fully broadcast by absolute time `now`
+  /// (telemetry; the broadcast is periodic, so this is pure arithmetic).
+  std::int64_t BucketsBroadcastBy(Bytes now) const {
+    return channel().BucketsBroadcastBy(now);
+  }
+
  private:
   explicit BroadcastServer(std::unique_ptr<BroadcastScheme> scheme)
       : scheme_(std::move(scheme)) {}

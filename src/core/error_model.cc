@@ -32,10 +32,16 @@ AccessResult AccessWithErrors(const BroadcastScheme& scheme,
     if (!corrupted) {
       total.found = walk.found;
       total.probes += walk.probes;
+      total.index_probes += walk.index_probes;
+      total.overflow_hops += walk.overflow_hops;
       total.tuning_time += walk.tuning_time;
       total.access_time = now + walk.access_time - tune_in;
       return total;
     }
+    // The aborted walk's bucket reads count as plain probes below; its
+    // index/overflow split is unknown at the corruption point, so those
+    // subsets only accumulate over the clean final attempt.
+    ++total.retries;
 
     // Charge the aborted attempt a proportional share of its walk up to
     // the corrupted probe, then re-tune from that moment.

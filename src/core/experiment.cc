@@ -83,6 +83,7 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
       merged.false_drops += replication.false_drops;
       merged.anomalies += replication.anomalies;
       merged.outcome_mismatches += replication.outcome_mismatches;
+      merged.metrics.Merge(replication.metrics);
       accuracy.AddRound(replication.round_access_mean,
                         replication.round_tuning_mean);
       ++rounds;

@@ -1,0 +1,46 @@
+#include "core/metrics.h"
+
+namespace airindex {
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      Kind kind) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) return entries_[it->second];
+  Entry entry;
+  entry.name = std::string(name);
+  entry.kind = kind;
+  entries_.push_back(std::move(entry));
+  index_.emplace(entries_.back().name, entries_.size() - 1);
+  return entries_.back();
+}
+
+void MetricsRegistry::Increment(std::string_view name, std::int64_t delta) {
+  FindOrCreate(name, Kind::kCounter).value += delta;
+}
+
+void MetricsRegistry::Set(std::string_view name, std::int64_t value) {
+  Entry& entry = FindOrCreate(name, Kind::kGauge);
+  entry.kind = Kind::kGauge;
+  entry.value = value;
+}
+
+std::int64_t MetricsRegistry::Get(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it != index_.end() ? entries_[it->second].value : 0;
+}
+
+bool MetricsRegistry::Has(std::string_view name) const {
+  return index_.find(std::string(name)) != index_.end();
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const Entry& entry : other.entries_) {
+    if (entry.kind == Kind::kGauge) {
+      Set(entry.name, entry.value);
+    } else {
+      Increment(entry.name, entry.value);
+    }
+  }
+}
+
+}  // namespace airindex

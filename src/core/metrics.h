@@ -1,0 +1,73 @@
+// Layer: 5 (core) — see docs/ARCHITECTURE.md for the layer map.
+#ifndef AIRINDEX_CORE_METRICS_H_
+#define AIRINDEX_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace airindex {
+
+/// Lightweight named counters/gauges for simulator telemetry.
+///
+/// The testbed's hot path accumulates plain integers (ResultHandler);
+/// a registry is built once per replication from those totals, so the
+/// per-request cost of metrics is zero. Registries are then merged in
+/// replication-id order by the replication engine, exactly like the
+/// RunningStats merge — which makes the merged counter values a pure
+/// function of (config, seed), independent of --jobs and of thread
+/// scheduling.
+///
+/// Entries keep first-touch order: merging preserves the order of this
+/// registry's entries and appends the other registry's unseen names in
+/// their order. Two registries compare equal iff they hold the same
+/// names in the same order with the same values and kinds.
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge };
+
+  struct Entry {
+    std::string name;
+    std::int64_t value = 0;
+    Kind kind = Kind::kCounter;
+
+    bool operator==(const Entry& other) const = default;
+  };
+
+  MetricsRegistry() = default;
+
+  /// Adds `delta` to the counter `name`, creating it at zero first.
+  void Increment(std::string_view name, std::int64_t delta = 1);
+
+  /// Sets the gauge `name` to `value` (last writer wins on merge).
+  void Set(std::string_view name, std::int64_t value);
+
+  /// Current value of `name`; 0 when the metric was never touched.
+  std::int64_t Get(std::string_view name) const;
+
+  /// True when `name` exists in the registry.
+  bool Has(std::string_view name) const;
+
+  /// Folds `other` into this registry: counters add, gauges take the
+  /// other's value. Entry order is preserved (see class comment).
+  void Merge(const MetricsRegistry& other);
+
+  /// All entries in first-touch order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  bool operator==(const MetricsRegistry& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  Entry& FindOrCreate(std::string_view name, Kind kind);
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CORE_METRICS_H_

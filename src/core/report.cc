@@ -41,9 +41,24 @@ void ReportTable::Print(std::ostream& os) const {
 }
 
 void ReportTable::PrintCsv(std::ostream& os) const {
+  // RFC 4180: cells containing the delimiter, quotes or line breaks are
+  // quoted, with embedded quotes doubled.
+  const auto print_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char c : cell) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
   const auto print_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      os << (c == 0 ? "" : ",") << row[c];
+      if (c != 0) os << ',';
+      print_cell(row[c]);
     }
     os << '\n';
   };

@@ -20,7 +20,9 @@ class ReportTable {
   /// Pretty-prints with aligned columns.
   void Print(std::ostream& os) const;
 
-  /// Comma-separated output (header + rows).
+  /// Comma-separated output (header + rows), quoted per RFC 4180: cells
+  /// containing commas, quotes or line breaks are wrapped in double
+  /// quotes with embedded quotes doubled.
   void PrintCsv(std::ostream& os) const;
 
   /// Number of data rows.

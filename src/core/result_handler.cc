@@ -16,6 +16,12 @@ void ResultHandler::Add(const AccessResult& result, bool expected_on_air) {
   if (result.abandoned) ++abandoned_;
   false_drops_ += result.false_drops;
   anomalies_ += result.anomalies;
+  buckets_listened_ += result.probes;
+  bytes_listened_ += result.tuning_time;
+  bytes_dozed_ += result.access_time - result.tuning_time;
+  index_probes_ += result.index_probes;
+  overflow_hops_ += result.overflow_hops;
+  error_retries_ += result.retries;
   // An abandoned request legitimately misses an on-air record.
   if (!result.abandoned && result.found != expected_on_air) {
     ++outcome_mismatches_;

@@ -48,6 +48,15 @@ class ResultHandler {
   /// expectation — 0 on a correct scheme implementation.
   std::int64_t outcome_mismatches() const { return outcome_mismatches_; }
 
+  /// Telemetry totals (core/metrics.h), accumulated as plain integers so
+  /// the per-request cost stays a handful of additions.
+  std::int64_t buckets_listened() const { return buckets_listened_; }
+  std::int64_t bytes_listened() const { return bytes_listened_; }
+  std::int64_t bytes_dozed() const { return bytes_dozed_; }
+  std::int64_t index_probes() const { return index_probes_; }
+  std::int64_t overflow_hops() const { return overflow_hops_; }
+  std::int64_t error_retries() const { return error_retries_; }
+
  private:
   RunningStats access_;
   RunningStats tuning_;
@@ -61,6 +70,12 @@ class ResultHandler {
   std::int64_t false_drops_ = 0;
   std::int64_t anomalies_ = 0;
   std::int64_t outcome_mismatches_ = 0;
+  std::int64_t buckets_listened_ = 0;
+  std::int64_t bytes_listened_ = 0;
+  std::int64_t bytes_dozed_ = 0;
+  std::int64_t index_probes_ = 0;
+  std::int64_t overflow_hops_ = 0;
+  std::int64_t error_retries_ = 0;
 };
 
 }  // namespace airindex

@@ -16,6 +16,30 @@
 
 namespace airindex {
 
+namespace {
+
+/// Snapshots one run's telemetry into a registry. Every run touches the
+/// same names in the same order, which keeps the merged entry order (and
+/// therefore the JSON report) deterministic and --jobs independent.
+MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
+                                   const BroadcastServer& server,
+                                   const ResultHandler& results) {
+  MetricsRegistry metrics;
+  metrics.Increment("sim.events_processed",
+                    static_cast<std::int64_t>(simulation.events_processed()));
+  metrics.Increment("server.buckets_broadcast",
+                    server.BucketsBroadcastBy(simulation.now()));
+  metrics.Increment("client.buckets_listened", results.buckets_listened());
+  metrics.Increment("client.bytes_listened", results.bytes_listened());
+  metrics.Increment("client.bytes_dozed", results.bytes_dozed());
+  metrics.Increment("client.index_probes", results.index_probes());
+  metrics.Increment("client.overflow_hops", results.overflow_hops());
+  metrics.Increment("client.error_retries", results.error_retries());
+  return metrics;
+}
+
+}  // namespace
+
 Status ValidateTestbedConfig(const TestbedConfig& config) {
   if (config.dataset == nullptr && config.num_records <= 0) {
     return Status::InvalidArgument("num_records must be positive");
@@ -143,6 +167,7 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   result.false_drops = results.false_drops();
   result.anomalies = results.anomalies();
   result.outcome_mismatches = results.outcome_mismatches();
+  result.metrics = SnapshotRunMetrics(simulation, server, results);
 
   const Channel& channel = server.channel();
   result.cycle_bytes = channel.cycle_bytes();
@@ -206,6 +231,7 @@ ReplicationResult RunReplication(const BroadcastServer& server,
   replication.false_drops = results.false_drops();
   replication.anomalies = results.anomalies();
   replication.outcome_mismatches = results.outcome_mismatches();
+  replication.metrics = SnapshotRunMetrics(simulation, server, results);
   const ResultHandler::RoundStats round = results.CloseRound();
   replication.round_access_mean = round.access_mean;
   replication.round_tuning_mean = round.tuning_mean;

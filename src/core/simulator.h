@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "core/broadcast_server.h"
+#include "core/metrics.h"
 #include "core/testbed_config.h"
 #include "stats/confidence.h"
 #include "stats/histogram.h"
@@ -41,6 +42,12 @@ struct SimulationResult {
   std::int64_t false_drops = 0;
   std::int64_t anomalies = 0;
   std::int64_t outcome_mismatches = 0;
+
+  /// Telemetry counters (events processed, buckets broadcast, buckets
+  /// listened vs bytes dozed, index probes, overflow-chain hops, error
+  /// retries). Merged in replication-id order by the replication engine,
+  /// so values are independent of --jobs.
+  MetricsRegistry metrics;
 
   /// Channel shape, for reporting.
   Bytes cycle_bytes = 0;
@@ -96,6 +103,9 @@ struct ReplicationResult {
   std::int64_t false_drops = 0;
   std::int64_t anomalies = 0;
   std::int64_t outcome_mismatches = 0;
+  /// Per-replication telemetry counters; the coordinator merges these in
+  /// replication-id order.
+  MetricsRegistry metrics;
   /// Round means — the observations the Student-t stopping rule consumes.
   double round_access_mean = 0.0;
   double round_tuning_mean = 0.0;

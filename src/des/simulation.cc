@@ -10,6 +10,7 @@ std::size_t Simulation::Run(const std::function<bool()>& stop_requested) {
     queue_.RunNext();
     ++executed;
   }
+  events_processed_ += executed;
   return executed;
 }
 
@@ -21,6 +22,7 @@ std::size_t Simulation::RunUntil(Bytes until) {
     ++executed;
   }
   if (now_ < until) now_ = until;
+  events_processed_ += executed;
   return executed;
 }
 

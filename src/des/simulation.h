@@ -50,9 +50,14 @@ class Simulation {
   /// Number of pending events.
   std::size_t pending() const { return queue_.size(); }
 
+  /// Total events executed over every Run/RunUntil call on this
+  /// simulation — the "events processed" figure the testbed reports.
+  std::size_t events_processed() const { return events_processed_; }
+
  private:
   EventQueue queue_;
   Bytes now_ = 0;
+  std::size_t events_processed_ = 0;
 };
 
 }  // namespace airindex

@@ -27,6 +27,16 @@ struct AccessResult {
   /// Signature schemes: data buckets downloaded due to signature
   /// collisions ("false drops").
   int false_drops = 0;
+  /// Non-data buckets fully read while *locating* the record: index
+  /// buckets on tree walks, hash/control buckets, signature buckets
+  /// sifted. Subset of `probes`.
+  int index_probes = 0;
+  /// Hashing: extra buckets walked along a collision (overflow) chain
+  /// past its first bucket. Subset of `probes`.
+  int overflow_hops = 0;
+  /// Unreliable channel: attempts abandoned after a corrupted bucket
+  /// read (core/error_model.h). 0 on a lossless channel.
+  int retries = 0;
   /// Protocol anomalies (stale pointer dereferences, loop-guard trips).
   /// Always 0 for a well-formed channel; tests assert this.
   int anomalies = 0;

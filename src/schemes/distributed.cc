@@ -210,6 +210,7 @@ AccessResult DistributedIndexing::AccessTraced(std::string_view key,
     t += first.size;
     result.tuning_time += first.size;
     ++result.probes;
+    if (first.kind == BucketKind::kIndex) ++result.index_probes;
     t = doze_to(first.next_index_segment_phase, t, ProbeAction::kDoze,
                 "to the next index segment");
   }
@@ -229,6 +230,7 @@ AccessResult DistributedIndexing::AccessTraced(std::string_view key,
       ++result.anomalies;
       break;
     }
+    ++result.index_probes;
     // "If K < the key most recently broadcast, go to the next broadcast":
     // the record (if on air at all) already passed this cycle.
     if (!bucket.last_broadcast_key.empty() &&

@@ -101,6 +101,7 @@ AccessResult SimpleHashing::Access(std::string_view key, Bytes tune_in) const {
   t += dt;
   result.tuning_time += dt;
   ++result.probes;
+  ++result.index_probes;
 
   // Reach the bucket at the hashing position H(K). The paper's protocol
   // compares the hash value h carried by the first bucket against H(K);
@@ -112,6 +113,7 @@ AccessResult SimpleHashing::Access(std::string_view key, Bytes tune_in) const {
     t += dt;
     result.tuning_time += dt;
     ++result.probes;
+    ++result.index_probes;
   }
   const Bucket& home =
       channel_.bucket(static_cast<std::size_t>(hash));
@@ -138,6 +140,7 @@ AccessResult SimpleHashing::Access(std::string_view key, Bytes tune_in) const {
     }
     current_in_hand = false;
     if (bucket.hash_value != hash) break;  // chain over: not on air
+    if (scanned > 0) ++result.overflow_hops;
     const Record& record =
         dataset_->record(static_cast<int>(bucket.record_id));
     if (record.key == key) {

@@ -174,6 +174,7 @@ AccessResult HybridIndexing::Access(std::string_view key,
     t += first.size;
     result.tuning_time += first.size;
     ++result.probes;
+    if (first.kind == BucketKind::kIndex) ++result.index_probes;
     t = channel_.NextArrivalOfPhase(first.next_index_segment_phase, t);
   }
 
@@ -193,6 +194,7 @@ AccessResult HybridIndexing::Access(std::string_view key,
         ++result.anomalies;
         break;
       }
+      ++result.index_probes;
       if (key < bucket.range_lo || key > bucket.range_hi) break;
       const PointerEntry* entry = FindCoveringEntry(bucket.local, key);
       if (entry == nullptr) break;  // gap: not on air
@@ -211,6 +213,7 @@ AccessResult HybridIndexing::Access(std::string_view key,
     t += bucket.size;
     result.tuning_time += bucket.size;
     ++result.probes;
+    ++result.index_probes;
     --group_remaining;
     const Bucket& data = channel_.bucket((i + 1) % channel_.num_buckets());
     if (SignatureGenerator::Matches(bucket.signature.data(), query.data(),

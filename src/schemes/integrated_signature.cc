@@ -88,6 +88,7 @@ AccessResult IntegratedSignatureIndexing::Access(std::string_view key,
     t += sig_bucket.size;
     result.tuning_time += sig_bucket.size;
     ++result.probes;
+    ++result.index_probes;
     const bool match = SignatureGenerator::Matches(sig_bucket.signature.data(),
                                                    query.data(), words);
     // Index of the next group-signature bucket.

@@ -115,6 +115,7 @@ AccessResult MultiLevelSignatureIndexing::Access(std::string_view key,
     t += group_bucket.size;
     result.tuning_time += group_bucket.size;
     ++result.probes;
+    ++result.index_probes;
     const bool group_match = SignatureGenerator::Matches(
         group_bucket.signature.data(), group_query.data(), group_words);
 
@@ -130,6 +131,7 @@ AccessResult MultiLevelSignatureIndexing::Access(std::string_view key,
         t += record_sig.size;
         result.tuning_time += record_sig.size;
         ++result.probes;
+        ++result.index_probes;
         if (!SignatureGenerator::Matches(record_sig.signature.data(),
                                          record_query.data(), record_words)) {
           continue;  // doze over the data bucket

@@ -132,6 +132,7 @@ AccessResult OneMIndexing::Access(std::string_view key, Bytes tune_in) const {
     t += first.size;
     result.tuning_time += first.size;
     ++result.probes;
+    if (first.kind == BucketKind::kIndex) ++result.index_probes;
     t = channel_.NextArrivalOfPhase(first.next_index_segment_phase, t);
   }
 
@@ -147,6 +148,7 @@ AccessResult OneMIndexing::Access(std::string_view key, Bytes tune_in) const {
       ++result.anomalies;
       break;
     }
+    ++result.index_probes;
     if (key < bucket.range_lo || key > bucket.range_hi) break;  // not on air
     const PointerEntry* entry = FindCoveringEntry(bucket.local, key);
     if (entry == nullptr) break;  // key falls in a gap: not on air

@@ -174,6 +174,7 @@ AccessResult SignatureIndexing::Access(std::string_view key,
     const int matches = CountMatches(query.data(), start, scanned);
     result.false_drops = matches - 1;  // the target always matches
     result.probes = scanned + matches;
+    result.index_probes = scanned;
     result.tuning_time += static_cast<Bytes>(scanned) * it +
                           static_cast<Bytes>(matches) * dt;
     result.access_time += static_cast<Bytes>(scanned) * period;
@@ -186,6 +187,7 @@ AccessResult SignatureIndexing::Access(std::string_view key,
   const int matches = CountMatches(query.data(), start, pairs);
   result.false_drops = matches;
   result.probes = pairs + matches;
+  result.index_probes = pairs;
   result.tuning_time +=
       static_cast<Bytes>(pairs) * it + static_cast<Bytes>(matches) * dt;
   const int last = (start + pairs - 1) % pairs;

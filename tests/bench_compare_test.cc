@@ -1,0 +1,164 @@
+// Tests for the CI regression gate (tools/bench_compare_lib.h): matching
+// semantics, CI-bound drift detection, rel-tol fallback, wall-time
+// budgets, and strict counter comparison.
+
+#include "tools/bench_compare_lib.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace airindex {
+namespace {
+
+BenchReport BaseReport() {
+  BenchReport report;
+  report.bench = "gate_test_bench";
+  BenchPoint point;
+  point.labels = {{"records", "2000"}, {"scheme", "flat"}};
+  point.metrics = {
+      {"access_bytes", BenchMetricValue{500000.0, 5000.0, false}},
+      {"found_rate", BenchMetricValue{1.0, 0.0, false}},
+      {"build_ns", BenchMetricValue{1000.0, 0.0, true}},
+  };
+  point.replications = 40;
+  point.requests = 20000;
+  report.points.push_back(point);
+  report.counters.Increment("sim.events_processed", 100);
+  report.timing.wall_seconds = 2.0;
+  return report;
+}
+
+TEST(BenchCompareTest, IdenticalReportsPass) {
+  const BenchReport base = BaseReport();
+  const CompareResult result =
+      CompareBenchReports(base, base, CompareOptions{});
+  EXPECT_TRUE(result.passed()) << result.failures.front();
+}
+
+TEST(BenchCompareTest, DriftWithinCombinedCiPasses) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  // Shift by less than base CI (5000) + candidate CI (3000).
+  cand.points[0].metrics[0].second.mean = 507000.0;
+  cand.points[0].metrics[0].second.ci_half_width = 3000.0;
+  EXPECT_TRUE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+}
+
+TEST(BenchCompareTest, DriftBeyondCombinedCiFails) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.points[0].metrics[0].second.mean = 511000.0;  // Δ=11000 > 5000+5000
+  const CompareResult result =
+      CompareBenchReports(base, cand, CompareOptions{});
+  ASSERT_FALSE(result.passed());
+  EXPECT_NE(result.failures[0].find("access_bytes"), std::string::npos);
+}
+
+TEST(BenchCompareTest, ZeroCiMetricUsesRelTol) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.points[0].metrics[1].second.mean = 0.995;  // 0.5% off: within 1%
+  EXPECT_TRUE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+
+  cand.points[0].metrics[1].second.mean = 0.9;  // 10% off
+  EXPECT_FALSE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+
+  CompareOptions loose;
+  loose.rel_tol = 0.2;
+  EXPECT_TRUE(CompareBenchReports(base, cand, loose).passed());
+}
+
+TEST(BenchCompareTest, WalltimeGatedOnlyWithBudget) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.points[0].metrics[2].second.mean = 10000.0;  // 10x slower
+  // Default: wall metrics skipped, noted.
+  const CompareResult skipped =
+      CompareBenchReports(base, cand, CompareOptions{});
+  EXPECT_TRUE(skipped.passed());
+  EXPECT_FALSE(skipped.notes.empty());
+
+  CompareOptions gated;
+  gated.max_wall_regress_percent = 50.0;
+  EXPECT_FALSE(CompareBenchReports(base, cand, gated).passed());
+
+  cand.points[0].metrics[2].second.mean = 1400.0;  // +40% < 50% budget
+  EXPECT_TRUE(CompareBenchReports(base, cand, gated).passed());
+}
+
+TEST(BenchCompareTest, RunWallTimeGatedWithBudget) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.timing.wall_seconds = 5.0;  // 2.0 -> 5.0 is +150%
+  EXPECT_TRUE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+
+  CompareOptions gated;
+  gated.max_wall_regress_percent = 100.0;
+  EXPECT_FALSE(CompareBenchReports(base, cand, gated).passed());
+}
+
+TEST(BenchCompareTest, MissingPointFails) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.points.clear();
+  const CompareResult result =
+      CompareBenchReports(base, cand, CompareOptions{});
+  ASSERT_FALSE(result.passed());
+  EXPECT_NE(result.failures[0].find("missing"), std::string::npos);
+}
+
+TEST(BenchCompareTest, MissingMetricFails) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.points[0].metrics.erase(cand.points[0].metrics.begin());
+  EXPECT_FALSE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+}
+
+TEST(BenchCompareTest, ExtraCandidatePointIsOnlyANote) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  BenchPoint extra;
+  extra.labels = {{"records", "9999"}, {"scheme", "flat"}};
+  cand.points.push_back(extra);
+  const CompareResult result =
+      CompareBenchReports(base, cand, CompareOptions{});
+  EXPECT_TRUE(result.passed());
+  EXPECT_FALSE(result.notes.empty());
+}
+
+TEST(BenchCompareTest, LabelOrderDoesNotMatter) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.points[0].labels = {{"scheme", "flat"}, {"records", "2000"}};
+  EXPECT_TRUE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+}
+
+TEST(BenchCompareTest, BenchNameMismatchFails) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.bench = "other_bench";
+  EXPECT_FALSE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+}
+
+TEST(BenchCompareTest, StrictCountersDetectDrift) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.counters.Increment("sim.events_processed", 1);  // 100 -> 101
+  // Default: counters not gated.
+  EXPECT_TRUE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+
+  CompareOptions strict;
+  strict.strict_counters = true;
+  EXPECT_FALSE(CompareBenchReports(base, cand, strict).passed());
+
+  BenchReport extra_counter = BaseReport();
+  extra_counter.counters.Increment("client.new_counter", 5);
+  EXPECT_FALSE(
+      CompareBenchReports(base, extra_counter, strict).passed());
+
+  EXPECT_TRUE(CompareBenchReports(base, BaseReport(), strict).passed());
+}
+
+}  // namespace
+}  // namespace airindex

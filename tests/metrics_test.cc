@@ -1,0 +1,145 @@
+// Tests for core/metrics.h (MetricsRegistry) and the telemetry counters
+// the testbed threads through the simulator: order-preserving merge,
+// equality semantics, and bit-identical counters across --jobs values.
+
+#include "core/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+namespace {
+
+TEST(MetricsRegistryTest, IncrementCreatesAndAdds) {
+  MetricsRegistry metrics;
+  EXPECT_FALSE(metrics.Has("a"));
+  EXPECT_EQ(metrics.Get("a"), 0);
+  metrics.Increment("a");
+  metrics.Increment("a", 4);
+  EXPECT_TRUE(metrics.Has("a"));
+  EXPECT_EQ(metrics.Get("a"), 5);
+}
+
+TEST(MetricsRegistryTest, SetOverwrites) {
+  MetricsRegistry metrics;
+  metrics.Set("gauge", 7);
+  metrics.Set("gauge", 3);
+  EXPECT_EQ(metrics.Get("gauge"), 3);
+}
+
+TEST(MetricsRegistryTest, EntriesKeepFirstTouchOrder) {
+  MetricsRegistry metrics;
+  metrics.Increment("z");
+  metrics.Increment("a");
+  metrics.Increment("m");
+  metrics.Increment("a");
+  ASSERT_EQ(metrics.entries().size(), 3u);
+  EXPECT_EQ(metrics.entries()[0].name, "z");
+  EXPECT_EQ(metrics.entries()[1].name, "a");
+  EXPECT_EQ(metrics.entries()[2].name, "m");
+}
+
+TEST(MetricsRegistryTest, MergeAddsCountersAndPreservesOrder) {
+  MetricsRegistry left;
+  left.Increment("shared", 10);
+  left.Increment("left_only", 1);
+
+  MetricsRegistry right;
+  right.Increment("right_only", 2);
+  right.Increment("shared", 5);
+
+  left.Merge(right);
+  EXPECT_EQ(left.Get("shared"), 15);
+  EXPECT_EQ(left.Get("left_only"), 1);
+  EXPECT_EQ(left.Get("right_only"), 2);
+  // This registry's order first, then the other's unseen names.
+  ASSERT_EQ(left.entries().size(), 3u);
+  EXPECT_EQ(left.entries()[0].name, "shared");
+  EXPECT_EQ(left.entries()[1].name, "left_only");
+  EXPECT_EQ(left.entries()[2].name, "right_only");
+}
+
+TEST(MetricsRegistryTest, MergeTakesGaugeValue) {
+  MetricsRegistry left;
+  left.Set("gauge", 1);
+  MetricsRegistry right;
+  right.Set("gauge", 9);
+  left.Merge(right);
+  EXPECT_EQ(left.Get("gauge"), 9);
+}
+
+TEST(MetricsRegistryTest, EqualityComparesNamesOrderValuesKinds) {
+  MetricsRegistry a;
+  a.Increment("x", 1);
+  a.Increment("y", 2);
+
+  MetricsRegistry same;
+  same.Increment("x", 1);
+  same.Increment("y", 2);
+  EXPECT_TRUE(a == same);
+
+  MetricsRegistry reordered;
+  reordered.Increment("y", 2);
+  reordered.Increment("x", 1);
+  EXPECT_FALSE(a == reordered);
+
+  MetricsRegistry different_value;
+  different_value.Increment("x", 1);
+  different_value.Increment("y", 3);
+  EXPECT_FALSE(a == different_value);
+
+  MetricsRegistry gauge_kind;
+  gauge_kind.Set("x", 1);
+  gauge_kind.Increment("y", 2);
+  EXPECT_FALSE(a == gauge_kind);
+}
+
+TestbedConfig SmallConfig(SchemeKind scheme) {
+  TestbedConfig config;
+  config.scheme = scheme;
+  config.num_records = 500;
+  config.min_rounds = 6;
+  config.max_rounds = 6;
+  config.seed = 321;
+  return config;
+}
+
+TEST(SimulatorMetricsTest, RunTestbedPopulatesTelemetryCounters) {
+  const Result<SimulationResult> run = RunTestbed(SmallConfig(
+      SchemeKind::kDistributed));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const MetricsRegistry& metrics = run.value().metrics;
+  EXPECT_GT(metrics.Get("sim.events_processed"), 0);
+  EXPECT_GT(metrics.Get("server.buckets_broadcast"), 0);
+  EXPECT_GT(metrics.Get("client.buckets_listened"), 0);
+  EXPECT_GT(metrics.Get("client.bytes_listened"), 0);
+  EXPECT_GT(metrics.Get("client.bytes_dozed"), 0);
+  EXPECT_GT(metrics.Get("client.index_probes"), 0);
+  EXPECT_TRUE(metrics.Has("client.overflow_hops"));
+  EXPECT_EQ(metrics.Get("client.error_retries"), 0);
+}
+
+TEST(SimulatorMetricsTest, CountersBitIdenticalAcrossJobs) {
+  const TestbedConfig config = SmallConfig(SchemeKind::kHashing);
+
+  ParallelExperiment serial({.jobs = 1});
+  const Result<SimulationResult> serial_run = serial.Run(config);
+  ASSERT_TRUE(serial_run.ok()) << serial_run.status().ToString();
+
+  ParallelExperiment parallel({.jobs = 4});
+  const Result<SimulationResult> parallel_run = parallel.Run(config);
+  ASSERT_TRUE(parallel_run.ok()) << parallel_run.status().ToString();
+
+  EXPECT_TRUE(serial_run.value().metrics == parallel_run.value().metrics);
+  EXPECT_EQ(serial_run.value().access.mean(),
+            parallel_run.value().access.mean());
+}
+
+}  // namespace
+}  // namespace airindex

@@ -39,6 +39,18 @@ TEST(ReportTable, CsvOutput) {
   EXPECT_EQ(out.str(), "k,v\nr1,10\n");
 }
 
+TEST(ReportTable, CsvEscapesPerRfc4180) {
+  ReportTable table({"plain", "with,comma", "with\"quote"});
+  table.AddRow({"a,b", "he said \"hi\"", "line\nbreak"});
+  table.AddRow({"cr\rhere", "both,\"kinds\"", "untouched"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(),
+            "plain,\"with,comma\",\"with\"\"quote\"\n"
+            "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n"
+            "\"cr\rhere\",\"both,\"\"kinds\"\"\",untouched\n");
+}
+
 TEST(FormatDouble, Digits) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(3.14159, 0), "3");

@@ -1,0 +1,104 @@
+// CI regression gate: diffs a candidate bench JSON report (--json output
+// of any bench driver) against a committed baseline and exits non-zero
+// when a metric drifts beyond its statistical bounds.
+//
+// Usage: bench_compare BASELINE.json CANDIDATE.json
+//          [--rel-tol X]               (default 0.01)
+//          [--max-wall-regress PCT]    (default: wall metrics not gated)
+//          [--strict-counters]
+//
+// Exit status: 0 pass, 1 drift found, 2 usage or I/O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/bench_compare_lib.h"
+
+namespace airindex {
+namespace {
+
+double ParseDoubleArg(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  const double value = std::strtod(argv[++*i], &end);
+  if (end == argv[*i] || *end != '\0') {
+    std::fprintf(stderr, "invalid value for %s: %s\n", flag, argv[*i]);
+    std::exit(2);
+  }
+  return value;
+}
+
+Result<BenchReport> LoadReport(const std::string& path) {
+  Result<JsonValue> json = ReadJsonFile(path);
+  if (!json.ok()) return json.status();
+  return BenchReportFromJson(json.value());
+}
+
+int Main(int argc, char** argv) {
+  CompareOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rel-tol") == 0) {
+      options.rel_tol = ParseDoubleArg(argc, argv, &i, "--rel-tol");
+    } else if (std::strcmp(argv[i], "--max-wall-regress") == 0) {
+      options.max_wall_regress_percent =
+          ParseDoubleArg(argc, argv, &i, "--max-wall-regress");
+    } else if (std::strcmp(argv[i], "--strict-counters") == 0) {
+      options.strict_counters = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CANDIDATE.json "
+                 "[--rel-tol X] [--max-wall-regress PCT] "
+                 "[--strict-counters]\n");
+    return 2;
+  }
+
+  Result<BenchReport> baseline = LoadReport(paths[0]);
+  if (!baseline.ok()) {
+    std::cerr << "baseline " << paths[0] << ": "
+              << baseline.status().ToString() << "\n";
+    return 2;
+  }
+  Result<BenchReport> candidate = LoadReport(paths[1]);
+  if (!candidate.ok()) {
+    std::cerr << "candidate " << paths[1] << ": "
+              << candidate.status().ToString() << "\n";
+    return 2;
+  }
+
+  const CompareResult result =
+      CompareBenchReports(baseline.value(), candidate.value(), options);
+  for (const std::string& note : result.notes) {
+    std::cout << "note: " << note << "\n";
+  }
+  for (const std::string& failure : result.failures) {
+    std::cout << "FAIL: " << failure << "\n";
+  }
+  if (!result.passed()) {
+    std::cout << result.failures.size() << " regression(s) against "
+              << paths[0] << "\n";
+    return 1;
+  }
+  std::cout << "OK: " << baseline.value().points.size()
+            << " baseline point(s) matched within bounds\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

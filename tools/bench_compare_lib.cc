@@ -1,0 +1,182 @@
+#include "tools/bench_compare_lib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace airindex {
+
+namespace {
+
+/// Canonical key for a point: its labels sorted by name, so two reports
+/// that emit the same labels in different orders still match.
+std::string LabelKey(const BenchPoint& point) {
+  std::vector<std::pair<std::string, std::string>> labels = point.labels;
+  std::sort(labels.begin(), labels.end());
+  std::string key;
+  for (const auto& [name, value] : labels) {
+    key += name;
+    key += '=';
+    key += value;
+    key += ';';
+  }
+  return key;
+}
+
+std::string FormatValue(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+const BenchMetricValue* FindMetric(const BenchPoint& point,
+                                   const std::string& name) {
+  for (const auto& [metric_name, metric] : point.metrics) {
+    if (metric_name == name) return &metric;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+CompareResult CompareBenchReports(const BenchReport& baseline,
+                                  const BenchReport& candidate,
+                                  const CompareOptions& options) {
+  CompareResult result;
+
+  if (baseline.bench != candidate.bench) {
+    result.failures.push_back("bench name mismatch: baseline '" +
+                              baseline.bench + "' vs candidate '" +
+                              candidate.bench + "'");
+    return result;
+  }
+
+  std::vector<std::pair<std::string, const BenchPoint*>> candidate_points;
+  for (const BenchPoint& point : candidate.points) {
+    candidate_points.emplace_back(LabelKey(point), &point);
+  }
+  const auto find_candidate = [&](const std::string& key) -> const BenchPoint* {
+    for (const auto& [candidate_key, point] : candidate_points) {
+      if (candidate_key == key) return point;
+    }
+    return nullptr;
+  };
+
+  std::vector<std::string> matched_keys;
+  for (const BenchPoint& base_point : baseline.points) {
+    const std::string key = LabelKey(base_point);
+    const BenchPoint* cand_point = find_candidate(key);
+    if (cand_point == nullptr) {
+      result.failures.push_back("point [" + key +
+                                "] missing from candidate");
+      continue;
+    }
+    matched_keys.push_back(key);
+
+    for (const auto& [name, base_metric] : base_point.metrics) {
+      const BenchMetricValue* cand_metric = FindMetric(*cand_point, name);
+      if (cand_metric == nullptr) {
+        result.failures.push_back("point [" + key + "] metric '" + name +
+                                  "' missing from candidate");
+        continue;
+      }
+      if (base_metric.walltime != cand_metric->walltime) {
+        result.failures.push_back("point [" + key + "] metric '" + name +
+                                  "' changed kind (walltime vs simulated)");
+        continue;
+      }
+      const double delta = cand_metric->mean - base_metric.mean;
+      if (base_metric.walltime) {
+        if (options.max_wall_regress_percent < 0.0) {
+          result.notes.push_back("point [" + key + "] metric '" + name +
+                                 "' is walltime; skipped (no wall budget)");
+          continue;
+        }
+        const double budget = base_metric.mean *
+                              options.max_wall_regress_percent / 100.0;
+        if (delta > budget) {
+          result.failures.push_back(
+              "point [" + key + "] metric '" + name + "' wall regression: " +
+              FormatValue(base_metric.mean) + " -> " +
+              FormatValue(cand_metric->mean) + " (budget +" +
+              FormatValue(options.max_wall_regress_percent) + "%)");
+        }
+        continue;
+      }
+      // Simulated metric: the two runs agree when the gap is explained by
+      // their combined statistical uncertainty.
+      const double bound = base_metric.ci_half_width +
+                           cand_metric->ci_half_width;
+      if (bound > 0.0) {
+        if (std::abs(delta) > bound) {
+          result.failures.push_back(
+              "point [" + key + "] metric '" + name + "' drift: " +
+              FormatValue(base_metric.mean) + " -> " +
+              FormatValue(cand_metric->mean) + " exceeds CI bound " +
+              FormatValue(bound));
+        }
+      } else {
+        const double scale = std::max(std::abs(base_metric.mean), 1e-12);
+        if (std::abs(delta) > options.rel_tol * scale) {
+          result.failures.push_back(
+              "point [" + key + "] metric '" + name + "' drift: " +
+              FormatValue(base_metric.mean) + " -> " +
+              FormatValue(cand_metric->mean) + " exceeds rel tol " +
+              FormatValue(options.rel_tol));
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, point] : candidate_points) {
+    (void)point;
+    if (std::find(matched_keys.begin(), matched_keys.end(), key) ==
+        matched_keys.end()) {
+      result.notes.push_back("candidate has extra point [" + key + "]");
+    }
+  }
+
+  if (options.strict_counters) {
+    for (const MetricsRegistry::Entry& base_entry :
+         baseline.counters.entries()) {
+      if (!candidate.counters.Has(base_entry.name)) {
+        result.failures.push_back("counter '" + base_entry.name +
+                                  "' missing from candidate");
+        continue;
+      }
+      const std::int64_t cand_value =
+          candidate.counters.Get(base_entry.name);
+      if (cand_value != base_entry.value) {
+        result.failures.push_back(
+            "counter '" + base_entry.name + "' changed: " +
+            std::to_string(base_entry.value) + " -> " +
+            std::to_string(cand_value));
+      }
+    }
+    for (const MetricsRegistry::Entry& cand_entry :
+         candidate.counters.entries()) {
+      if (!baseline.counters.Has(cand_entry.name)) {
+        result.failures.push_back("candidate has extra counter '" +
+                                  cand_entry.name + "'");
+      }
+    }
+  }
+
+  if (options.max_wall_regress_percent >= 0.0 &&
+      baseline.timing.wall_seconds > 0.0) {
+    const double budget = baseline.timing.wall_seconds *
+                          (1.0 + options.max_wall_regress_percent / 100.0);
+    if (candidate.timing.wall_seconds > budget) {
+      result.failures.push_back(
+          "run wall time regression: " +
+          FormatValue(baseline.timing.wall_seconds) + "s -> " +
+          FormatValue(candidate.timing.wall_seconds) + "s (budget +" +
+          FormatValue(options.max_wall_regress_percent) + "%)");
+    }
+  }
+
+  return result;
+}
+
+}  // namespace airindex

@@ -1,0 +1,56 @@
+// Comparison engine behind the bench_compare CLI (tools/bench_compare.cc):
+// diffs a candidate bench report against a committed baseline and reports
+// the drift failures the CI gate acts on.
+#ifndef AIRINDEX_TOOLS_BENCH_COMPARE_LIB_H_
+#define AIRINDEX_TOOLS_BENCH_COMPARE_LIB_H_
+
+#include <string>
+#include <vector>
+
+#include "core/json_report.h"
+
+namespace airindex {
+
+/// Gate thresholds. Defaults match the CI smoke-bench job.
+struct CompareOptions {
+  /// Relative tolerance for metrics whose combined confidence interval is
+  /// zero (deterministic or single-shot values).
+  double rel_tol = 0.01;
+  /// Wall-time regression budget in percent; < 0 disables the wall-time
+  /// gate entirely (wall metrics regress with the machine, not the code,
+  /// so CI only gates them when explicitly asked).
+  double max_wall_regress_percent = -1.0;
+  /// Require counter totals to match exactly. Off by default: libm
+  /// differences across machines can shift replication counts at a
+  /// stopping-rule boundary even when every mean agrees.
+  bool strict_counters = false;
+};
+
+/// Outcome of a comparison: `failures` make the gate fail, `notes` are
+/// informational (extra candidate points, skipped wall metrics).
+struct CompareResult {
+  std::vector<std::string> failures;
+  std::vector<std::string> notes;
+
+  bool passed() const { return failures.empty(); }
+};
+
+/// Compares `candidate` against `baseline` point by point.
+///
+/// Points are matched by their full label set (order-insensitive). A
+/// baseline point or metric missing from the candidate is a failure; a
+/// candidate point absent from the baseline is only a note (new grid
+/// points should not break the gate).
+///
+/// Per metric: simulated means must agree within the sum of the two
+/// confidence half-widths (both runs' uncertainty); when that sum is zero
+/// the means must agree within rel_tol relative tolerance. Walltime
+/// metrics and the timing block are checked only when
+/// max_wall_regress_percent >= 0.
+CompareResult CompareBenchReports(const BenchReport& baseline,
+                                  const BenchReport& candidate,
+                                  const CompareOptions& options);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_TOOLS_BENCH_COMPARE_LIB_H_
