@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_main.h"
+#include "core/simulator.h"
 #include "data/dataset.h"
 #include "des/event_queue.h"
 #include "des/random.h"
@@ -70,6 +71,28 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * depth);
 }
 
+/// End-to-end hot path: one full replication (requests_per_round requests
+/// through the event queue, access walk, and accumulators) against a
+/// pre-built channel. Items processed = requests, so google-benchmark's
+/// items/s column reads directly as requests per second.
+void BM_RunReplication(benchmark::State& state, SchemeKind kind) {
+  TestbedConfig config;
+  config.scheme = kind;
+  config.num_records = static_cast<int>(state.range(0));
+  config.requests_per_round = 200;
+  config.seed = 7;
+  const auto dataset = BuildTestbedDataset(config).value();
+  const auto server =
+      BroadcastServer::Create(kind, dataset, config.geometry, config.params)
+          .value();
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunReplication(server, *dataset, config, ReplicationSeed(7, id++)));
+  }
+  state.SetItemsProcessed(state.iterations() * config.requests_per_round);
+}
+
 void BM_RngUint64(benchmark::State& state) {
   Rng rng(9);
   for (auto _ : state) {
@@ -98,6 +121,12 @@ BENCHMARK_CAPTURE(BM_Access, distributed, SchemeKind::kDistributed)
     ->Arg(34000);
 BENCHMARK_CAPTURE(BM_Access, hashing, SchemeKind::kHashing)->Arg(34000);
 BENCHMARK_CAPTURE(BM_Access, signature, SchemeKind::kSignature)->Arg(34000);
+
+BENCHMARK_CAPTURE(BM_RunReplication, flat, SchemeKind::kFlat)->Arg(7000);
+BENCHMARK_CAPTURE(BM_RunReplication, distributed, SchemeKind::kDistributed)
+    ->Arg(7000);
+BENCHMARK_CAPTURE(BM_RunReplication, signature, SchemeKind::kSignature)
+    ->Arg(7000);
 
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_RngUint64);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -29,9 +30,13 @@ const char* BucketKindToString(BucketKind kind);
 /// phase into an absolute arrival time with Channel::NextArrivalOfPhase,
 /// which models the paper's "time offset" pointers uniformly across
 /// schemes.
+///
+/// The key bounds are views into Dataset-owned key storage (every scheme
+/// keeps its dataset alive via shared_ptr), so index buckets carry no
+/// per-entry heap strings and the client walk compares fixed-width views.
 struct PointerEntry {
-  std::string key_lo;
-  std::string key_hi;
+  std::string_view key_lo;
+  std::string_view key_hi;
   Bytes target_phase = kInvalidPhase;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
 #include <utility>
 
 #include "core/accuracy_controller.h"
@@ -17,15 +20,28 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Coordinator-side state of the streaming scheduler: workers park
+/// completed replications here; the coordinator merges them in id order.
+struct ReorderBuffer {
+  std::mutex mu;
+  std::condition_variable ready;
+  /// Completed replications not yet merged, keyed by replication id.
+  std::map<int, ReplicationResult> completed;
+  /// High-water mark of `completed`.
+  int peak = 0;
+};
+
 }  // namespace
 
 ParallelExperiment::ParallelExperiment(ParallelOptions options)
-    : pool_(options.jobs) {
+    : pool_(options.jobs),
+      lookahead_(options.lookahead < 0 ? pool_.size() : options.lookahead) {
   timing_.jobs = pool_.size();
 }
 
 Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   const auto start = std::chrono::steady_clock::now();
+  const double busy_before = pool_.busy_seconds();
   if (Status s = ValidateTestbedConfig(config); !s.ok()) return s;
 
   // Build the dataset and broadcast channel once; replications share them
@@ -45,34 +61,54 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   SimulationResult merged;
   int rounds = 0;
   bool stop = false;
-  int next_id = 0;
 
-  while (!stop && next_id < config.max_rounds) {
-    // First wave: the guaranteed minimum (the rule cannot fire before
-    // min_rounds), padded to the pool width so no worker idles. Later
-    // waves: one replication per worker.
-    int wave = next_id == 0 ? std::max(config.min_rounds, pool_.size())
-                            : pool_.size();
-    wave = std::min(wave, config.max_rounds - next_id);
+  // Streaming ordered merge: keep `jobs + lookahead` replications in
+  // flight, merge strictly in replication-id order as results arrive, and
+  // stop submitting the moment the rule fires on the merged prefix.
+  // Replication `id` is a pure function of (config, id), and the merged
+  // stream is the id-ordered prefix ending at the stopping replication —
+  // so the statistics are bit-identical for every jobs/lookahead value.
+  ReorderBuffer buffer;
+  const int window = pool_.size() + lookahead_;
+  int next_submit = 0;
+  int next_merge = 0;
 
-    std::vector<ReplicationResult> replications(
-        static_cast<std::size_t>(wave));
-    for (int i = 0; i < wave; ++i) {
-      const std::uint64_t seed = ReplicationSeed(
-          config.seed, static_cast<std::uint64_t>(next_id + i));
-      ReplicationResult* slot = &replications[static_cast<std::size_t>(i)];
-      pool_.Submit([&server, &dataset, &config, seed, slot]() {
-        *slot = RunReplication(server, *dataset, config, seed);
+  while (!stop) {
+    // Refill the in-flight window (bounded by max_rounds: replications
+    // past it could never be merged).
+    while (next_submit < config.max_rounds &&
+           next_submit < next_merge + window) {
+      const int id = next_submit++;
+      const std::uint64_t seed =
+          ReplicationSeed(config.seed, static_cast<std::uint64_t>(id));
+      pool_.Submit([&server, &dataset, &config, &buffer, id, seed]() {
+        ReplicationResult result =
+            RunReplication(server, *dataset, config, seed);
+        std::lock_guard<std::mutex> lock(buffer.mu);
+        buffer.completed.emplace(id, std::move(result));
+        buffer.peak =
+            std::max(buffer.peak, static_cast<int>(buffer.completed.size()));
+        buffer.ready.notify_one();
       });
     }
-    pool_.Wait();
-    timing_.replications_run += wave;
 
-    // Merge in replication-id order; the stopping decision depends only
-    // on the ordered stream, never on which worker ran what.
-    for (int i = 0; i < wave && !stop; ++i) {
-      const ReplicationResult& replication =
-          replications[static_cast<std::size_t>(i)];
+    // Wait for the next id in merge order, then merge the contiguous
+    // prefix that has arrived.
+    std::vector<ReplicationResult> mergeable;
+    {
+      std::unique_lock<std::mutex> lock(buffer.mu);
+      buffer.ready.wait(lock, [&]() {
+        return buffer.completed.count(next_merge) != 0;
+      });
+      while (!buffer.completed.empty() &&
+             buffer.completed.begin()->first == next_merge) {
+        mergeable.push_back(std::move(buffer.completed.begin()->second));
+        buffer.completed.erase(buffer.completed.begin());
+        ++next_merge;
+      }
+    }
+
+    for (ReplicationResult& replication : mergeable) {
       merged.access.Merge(replication.access);
       merged.tuning.Merge(replication.tuning);
       merged.probes.Merge(replication.probes);
@@ -89,11 +125,21 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
       ++rounds;
       if ((rounds >= config.min_rounds && accuracy.Satisfied()) ||
           rounds >= config.max_rounds) {
+        // Cancellation point: later replications — in flight or already
+        // parked in the buffer — are speculative waste from here on.
         stop = true;
+        break;
       }
     }
-    next_id += wave;
   }
+
+  // Drain in-flight speculative replications; they only touch the
+  // reorder buffer, never the merged statistics.
+  pool_.Wait();
+  timing_.replications_run += next_submit;
+  timing_.replications_discarded += next_submit - rounds;
+  timing_.reorder_buffer_peak =
+      std::max(timing_.reorder_buffer_peak, buffer.peak);
 
   merged.requests = merged.access.count();
   merged.rounds = rounds;
@@ -111,38 +157,62 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   merged.num_data_buckets =
       static_cast<std::int64_t>(channel.num_data_buckets());
 
+  const double wall = SecondsSince(start);
   timing_.replications_merged += rounds;
-  timing_.wall_seconds += SecondsSince(start);
+  timing_.wall_seconds += wall;
   timing_.busy_seconds = pool_.busy_seconds();
+  timing_.idle_seconds +=
+      std::max(0.0, wall * pool_.size() - (pool_.busy_seconds() -
+                                           busy_before));
   return merged;
 }
 
 std::vector<Result<SimulationResult>> ParallelExperiment::RunSweep(
     const std::vector<TestbedConfig>& configs) {
+  // One generated Dataset per distinct set of generation inputs: grid
+  // cells that only vary the scheme (Figure 4's columns) share it. The
+  // cache holds the exact object BuildTestbedDataset would produce, so
+  // reuse is invisible to the statistics.
+  struct DatasetKey {
+    int num_records;
+    Bytes key_bytes;
+    int num_attributes;
+    int attribute_width;
+    std::uint64_t seed;
+    bool operator==(const DatasetKey& other) const {
+      return num_records == other.num_records &&
+             key_bytes == other.key_bytes &&
+             num_attributes == other.num_attributes &&
+             attribute_width == other.attribute_width && seed == other.seed;
+    }
+  };
+  std::vector<std::pair<DatasetKey, std::shared_ptr<const Dataset>>> cache;
+
   std::vector<Result<SimulationResult>> results;
   results.reserve(configs.size());
   for (const TestbedConfig& config : configs) {
-    results.push_back(Run(config));
+    TestbedConfig cell = config;
+    if (cell.dataset == nullptr && ValidateTestbedConfig(cell).ok()) {
+      const DatasetKey key{cell.num_records, cell.geometry.key_bytes,
+                           cell.num_attributes, cell.attribute_width,
+                           cell.seed};
+      const auto hit =
+          std::find_if(cache.begin(), cache.end(),
+                       [&](const auto& entry) { return entry.first == key; });
+      if (hit != cache.end()) {
+        cell.dataset = hit->second;
+      } else {
+        Result<std::shared_ptr<const Dataset>> built =
+            BuildTestbedDataset(cell);
+        if (built.ok()) {
+          cell.dataset = std::move(built).value();
+          cache.emplace_back(key, cell.dataset);
+        }
+        // On failure fall through: Run(cell) reproduces the error.
+      }
+    }
+    results.push_back(Run(cell));
   }
-  return results;
-}
-
-std::vector<Result<SimulationResult>> RunSweep(
-    const std::vector<TestbedConfig>& configs, int threads) {
-  std::vector<Result<SimulationResult>> results;
-  results.reserve(configs.size());
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    results.emplace_back(Status::Internal("not run"));
-  }
-  if (configs.empty()) return results;
-
-  if (threads > 0) {
-    threads = std::min<int>(threads, static_cast<int>(configs.size()));
-  }
-  ThreadPool pool(threads);
-  ParallelFor(pool, configs.size(), [&](std::size_t i) {
-    results[i] = RunTestbed(configs[i]);
-  });
   return results;
 }
 

@@ -19,6 +19,12 @@ struct ParallelOptions {
   /// single-threaded behaviour — and, by construction, produces exactly
   /// the same statistics as any other jobs value.
   int jobs = 0;
+  /// Extra replications kept in flight beyond the pool width, so a
+  /// worker finishing early always finds the next replication already
+  /// queued; < 0 means "one extra pool width" (in-flight window =
+  /// 2 * jobs). Lookahead only trades wall time against wasted
+  /// speculative work — it never affects results.
+  int lookahead = -1;
 };
 
 /// Multi-threaded replication engine.
@@ -26,25 +32,27 @@ struct ParallelOptions {
 /// The paper's adaptive testbed repeats rounds of `requests_per_round`
 /// requests until the Student-t stopping rule converges. Rounds are
 /// statistically independent, so this engine runs them as independent
-/// *replications*, fanned out across a thread pool:
+/// *replications*, streamed through a thread pool:
 ///
 ///  - Replication `id` draws its RNG stream from
 ///    ReplicationSeed(config.seed, id) = seed ^ splitmix64(id)
 ///    (des/random.h), so its outcome depends only on (config, id) — never
 ///    on worker identity or scheduling.
-///  - Each worker accumulates a local ReplicationResult (RunningStats,
-///    histograms, counters); the coordinator merges results in
-///    replication-id order and feeds each round's means to the
-///    AccuracyController, so the Student-t check runs on the merged
+///  - The coordinator keeps `jobs + lookahead` replications in flight at
+///    all times (no wave barrier: a straggler never idles the rest of the
+///    pool). Completed results land in a reorder buffer and are merged
+///    strictly in replication-id order; each merged replication feeds the
+///    AccuracyController, so the Student-t check runs on the ordered
 ///    stream exactly as it would serially.
-///  - Replications are launched in waves (first wave: min_rounds, the
-///    guaranteed minimum; then one wave per pool width). When the
-///    stopping rule fires mid-wave, the later speculative replications
-///    are discarded unmerged — at most jobs-1 replications of waste.
+///  - The stopping decision is the streaming cancellation point: once the
+///    rule fires on the merged prefix, no further replications are
+///    submitted, and in-flight speculative replications finish but are
+///    discarded unmerged (at most the in-flight window of waste,
+///    reported as `replications_discarded` in the timing summary).
 ///
-/// Consequence: `Run` is bit-identical for every jobs value, and the
-/// adaptive stopping behaviour (which replication stops the run) is
-/// preserved exactly.
+/// Consequence: `Run` is bit-identical for every jobs/lookahead value,
+/// and the adaptive stopping behaviour (which replication stops the run)
+/// is preserved exactly.
 class ParallelExperiment {
  public:
   explicit ParallelExperiment(ParallelOptions options = {});
@@ -56,9 +64,17 @@ class ParallelExperiment {
   Result<SimulationResult> Run(const TestbedConfig& config);
 
   /// Runs a grid of configurations, one result per config in input
-  /// order. Grid points run sequentially with their replications
-  /// parallelised, so each point's statistics are independent of the
-  /// grid around it (and of jobs).
+  /// order — the one sweep entry point (the old free RunSweep, which ran
+  /// one serial RunTestbed per cell, is gone). Grid points run
+  /// sequentially with their replications parallelised, so each point's
+  /// statistics are independent of the grid around it (and of jobs).
+  ///
+  /// Cells that share the same generated-dataset inputs
+  /// (num_records, key geometry, attribute shape, seed) reuse one
+  /// Dataset instance instead of regenerating it — Figure 4's grid, for
+  /// example, builds each record-count's dataset once instead of once
+  /// per scheme. Reuse cannot change results: the cached dataset is
+  /// bit-identical to the one each cell would generate itself.
   std::vector<Result<SimulationResult>> RunSweep(
       const std::vector<TestbedConfig>& configs);
 
@@ -70,19 +86,9 @@ class ParallelExperiment {
 
  private:
   ThreadPool pool_;
+  int lookahead_;
   RunTiming timing_;
 };
-
-/// Runs a batch of independent testbed configurations, optionally in
-/// parallel, returning one result per configuration in input order.
-///
-/// This is the legacy config-level sweep: each configuration runs as one
-/// serial RunTestbed (the continuous-stream simulation), so results are
-/// identical to running the configurations one by one. Prefer
-/// ParallelExperiment, which also parallelises replications *within* a
-/// configuration. `threads` <= 0 uses the hardware concurrency.
-std::vector<Result<SimulationResult>> RunSweep(
-    const std::vector<TestbedConfig>& configs, int threads = 0);
 
 }  // namespace airindex
 

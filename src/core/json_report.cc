@@ -486,8 +486,13 @@ JsonValue BenchReportToJson(const BenchReport& report) {
   timing.Set("replications_run", JsonValue(report.timing.replications_run));
   timing.Set("replications_merged",
              JsonValue(report.timing.replications_merged));
+  timing.Set("replications_discarded",
+             JsonValue(report.timing.replications_discarded));
+  timing.Set("reorder_buffer_peak",
+             JsonValue(report.timing.reorder_buffer_peak));
   timing.Set("wall_seconds", JsonValue(report.timing.wall_seconds));
   timing.Set("busy_seconds", JsonValue(report.timing.busy_seconds));
+  timing.Set("idle_seconds", JsonValue(report.timing.idle_seconds));
   root.Set("timing", std::move(timing));
   return root;
 }
@@ -597,11 +602,22 @@ Result<BenchReport> BenchReportFromJson(const JsonValue& json) {
       report.timing.replications_merged =
           static_cast<int>(merged->int_value());
     }
+    if (const JsonValue* discarded =
+            Require(*timing, "replications_discarded")) {
+      report.timing.replications_discarded =
+          static_cast<int>(discarded->int_value());
+    }
+    if (const JsonValue* peak = Require(*timing, "reorder_buffer_peak")) {
+      report.timing.reorder_buffer_peak = static_cast<int>(peak->int_value());
+    }
     if (const JsonValue* wall = Require(*timing, "wall_seconds")) {
       report.timing.wall_seconds = wall->number_value();
     }
     if (const JsonValue* busy = Require(*timing, "busy_seconds")) {
       report.timing.busy_seconds = busy->number_value();
+    }
+    if (const JsonValue* idle = Require(*timing, "idle_seconds")) {
+      report.timing.idle_seconds = idle->number_value();
     }
   }
   return report;

@@ -87,10 +87,13 @@ double RunTiming::worker_utilization() const {
 void PrintTimingSummary(std::ostream& os, const RunTiming& timing) {
   os << "timing: jobs " << timing.jobs << " | replications "
      << timing.replications_run << " (" << timing.replications_merged
-     << " merged) | wall " << FormatDouble(timing.wall_seconds, 2)
-     << " s | " << FormatDouble(timing.replications_per_second(), 1)
+     << " merged, " << timing.replications_discarded
+     << " discarded) | reorder peak " << timing.reorder_buffer_peak
+     << " | wall " << FormatDouble(timing.wall_seconds, 2) << " s | "
+     << FormatDouble(timing.replications_per_second(), 1)
      << " reps/s | worker utilization "
-     << FormatDouble(100.0 * timing.worker_utilization(), 0) << "%\n";
+     << FormatDouble(100.0 * timing.worker_utilization(), 0) << "% (idle "
+     << FormatDouble(timing.idle_seconds, 2) << " s)\n";
 }
 
 }  // namespace airindex

@@ -43,14 +43,24 @@ struct RunTiming {
   /// Worker threads in the pool.
   int jobs = 1;
   /// Replications executed, including speculative ones discarded after
-  /// the stopping rule fired mid-wave.
+  /// the stopping rule fired.
   int replications_run = 0;
   /// Replications whose statistics were merged into results.
   int replications_merged = 0;
+  /// Speculative replications that ran but were discarded because the
+  /// stopping rule fired on an earlier replication
+  /// (== replications_run - replications_merged).
+  int replications_discarded = 0;
+  /// High-water mark of the streaming scheduler's reorder buffer —
+  /// completed replications parked waiting for an earlier id to finish.
+  int reorder_buffer_peak = 0;
   /// Coordinator wall time spent inside Run()/RunSweep().
   double wall_seconds = 0.0;
   /// Summed worker execution time (<= wall_seconds * jobs).
   double busy_seconds = 0.0;
+  /// Pool capacity left unused while inside Run()/RunSweep()
+  /// (wall_seconds * jobs - busy_seconds, clamped at 0).
+  double idle_seconds = 0.0;
 
   /// Executed replications per wall-clock second.
   double replications_per_second() const;
@@ -59,8 +69,9 @@ struct RunTiming {
 };
 
 /// Prints the one-line per-run timing summary, e.g.:
-///   timing: jobs 8 | replications 412 (404 merged) | wall 1.92 s |
-///   214.6 reps/s | worker utilization 93%
+///   timing: jobs 8 | replications 412 (404 merged, 8 discarded) |
+///   reorder peak 5 | wall 1.92 s | 214.6 reps/s |
+///   worker utilization 93% (idle 1.08 s)
 void PrintTimingSummary(std::ostream& os, const RunTiming& timing);
 
 }  // namespace airindex

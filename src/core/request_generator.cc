@@ -36,7 +36,7 @@ Query RequestGenerator::NextQuery() {
   } else {
     const auto index = static_cast<int>(
         rng_.NextBounded(static_cast<std::uint64_t>(dataset_->size() + 1)));
-    query.key = dataset_->AbsentKey(index);
+    query.key = dataset_->absent_key(index);
   }
   return query;
 }

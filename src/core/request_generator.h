@@ -2,7 +2,7 @@
 #define AIRINDEX_CORE_REQUEST_GENERATOR_H_
 
 #include <optional>
-#include <string>
+#include <string_view>
 
 #include "common/types.h"
 #include "data/dataset.h"
@@ -13,8 +13,11 @@ namespace airindex {
 
 /// One generated user request.
 struct Query {
-  /// The key the mobile client asks for.
-  std::string key;
+  /// The key the mobile client asks for — a view into the Dataset's
+  /// interned key storage (record keys or the precomputed absent-key
+  /// table), valid as long as the dataset outlives the query. Carrying a
+  /// view keeps query generation allocation-free on the hot path.
+  std::string_view key;
   /// Whether the key is actually on the broadcast (by construction).
   bool on_air = false;
 };

@@ -123,9 +123,11 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   bool stop = false;
 
   // Request arrival: run the access protocol (the pure "listen" walk) and
-  // schedule the completion event at the download time.
+  // schedule the completion event at the download time. Both event
+  // closures must fit the EventQueue's inline buffer so the per-request
+  // path never heap-allocates.
   std::function<void()> schedule_next_arrival = [&]() {
-    simulation.ScheduleIn(generator.NextInterArrival(), [&]() {
+    auto on_arrival = [&]() {
       const Query query = generator.NextQuery();
       const AccessResult access = ApplyDeadline(
           unreliable
@@ -134,8 +136,8 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
                                  &error_rng)
               : server.Listen(query.key, simulation.now()),
           config.deadline);
-      simulation.ScheduleIn(access.access_time, [&, access, query]() {
-        results.Add(access, query.on_air);
+      auto on_completion = [&, access, on_air = query.on_air]() {
+        results.Add(access, on_air);
         if (results.round_size() >= config.requests_per_round) {
           const ResultHandler::RoundStats round = results.CloseRound();
           accuracy.AddRound(round.access_mean, round.tuning_mean);
@@ -143,9 +145,17 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
           const bool capped = accuracy.rounds() >= config.max_rounds;
           if ((enough_rounds && accuracy.Satisfied()) || capped) stop = true;
         }
-      });
+      };
+      static_assert(
+          EventQueue::Callback::fits_inline<decltype(on_completion)>,
+          "completion event must stay allocation-free");
+      simulation.ScheduleIn(access.access_time, std::move(on_completion));
       if (!stop) schedule_next_arrival();
-    });
+    };
+    static_assert(EventQueue::Callback::fits_inline<decltype(on_arrival)>,
+                  "arrival event must stay allocation-free");
+    simulation.ScheduleIn(generator.NextInterArrival(),
+                          std::move(on_arrival));
   };
   schedule_next_arrival();
   simulation.Run([&]() { return stop; });
@@ -200,7 +210,7 @@ ReplicationResult RunReplication(const BroadcastServer& server,
   Simulation simulation;
   int generated = 0;
   std::function<void()> schedule_next_arrival = [&]() {
-    simulation.ScheduleIn(generator.NextInterArrival(), [&]() {
+    auto on_arrival = [&]() {
       ++generated;
       const Query query = generator.NextQuery();
       const AccessResult access = ApplyDeadline(
@@ -210,11 +220,19 @@ ReplicationResult RunReplication(const BroadcastServer& server,
                                  &error_rng)
               : server.Listen(query.key, simulation.now()),
           config.deadline);
-      simulation.ScheduleIn(access.access_time, [&, access, query]() {
-        results.Add(access, query.on_air);
-      });
+      auto on_completion = [&, access, on_air = query.on_air]() {
+        results.Add(access, on_air);
+      };
+      static_assert(
+          EventQueue::Callback::fits_inline<decltype(on_completion)>,
+          "completion event must stay allocation-free");
+      simulation.ScheduleIn(access.access_time, std::move(on_completion));
       if (generated < config.requests_per_round) schedule_next_arrival();
-    });
+    };
+    static_assert(EventQueue::Callback::fits_inline<decltype(on_arrival)>,
+                  "arrival event must stay allocation-free");
+    simulation.ScheduleIn(generator.NextInterArrival(),
+                          std::move(on_arrival));
   };
   schedule_next_arrival();
   simulation.Run();

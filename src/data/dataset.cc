@@ -76,6 +76,7 @@ Result<Dataset> Dataset::Generate(const DatasetConfig& config) {
     }
     dataset.records_.push_back(std::move(record));
   }
+  dataset.InternAbsentKeys();
   return dataset;
 }
 
@@ -113,6 +114,7 @@ Result<Dataset> Dataset::FromRecords(std::vector<Record> records) {
   Dataset dataset(config);
   dataset.records_ = std::move(records);
   dataset.synthetic_ = false;
+  dataset.InternAbsentKeys();
   return dataset;
 }
 
@@ -138,14 +140,31 @@ std::vector<int> Dataset::FindByAttribute(std::string_view value) const {
 }
 
 std::string Dataset::AbsentKey(int i) const {
+  if (i >= 0 && i <= size()) {
+    return absent_keys_[static_cast<std::size_t>(i)];
+  }
   if (synthetic_) {
     return EncodeKey(2 * static_cast<std::uint64_t>(i), config_.key_width);
   }
   // '!' sorts below every allowed key character, so key[i-1] + "!" falls
   // strictly between key[i-1] and key[i]; "!" alone sorts below key[0].
   if (i <= 0) return "!";
-  const int clamped = std::min(i, size());
-  return records_[static_cast<std::size_t>(clamped - 1)].key + "!";
+  return records_[static_cast<std::size_t>(size() - 1)].key + "!";
+}
+
+void Dataset::InternAbsentKeys() {
+  absent_keys_.reserve(records_.size() + 1);
+  for (int i = 0; i <= size(); ++i) {
+    if (synthetic_) {
+      absent_keys_.push_back(
+          EncodeKey(2 * static_cast<std::uint64_t>(i), config_.key_width));
+    } else if (i == 0) {
+      absent_keys_.push_back("!");
+    } else {
+      absent_keys_.push_back(records_[static_cast<std::size_t>(i - 1)].key +
+                             "!");
+    }
+  }
 }
 
 }  // namespace airindex

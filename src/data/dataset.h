@@ -83,6 +83,14 @@ class Dataset {
   /// between keys i-1 and i in either case.
   std::string AbsentKey(int i) const;
 
+  /// Interned view of AbsentKey(i) for i in [0, size()], backed by a
+  /// table precomputed at construction. This is the request hot path:
+  /// RequestGenerator hands the view to Query without allocating. The
+  /// view lives as long as this Dataset instance.
+  std::string_view absent_key(int i) const {
+    return absent_keys_[static_cast<std::size_t>(i)];
+  }
+
   /// Smallest and largest present key.
   const std::string& min_key() const { return records_.front().key; }
   const std::string& max_key() const { return records_.back().key; }
@@ -97,8 +105,13 @@ class Dataset {
  private:
   explicit Dataset(DatasetConfig config) : config_(config) {}
 
+  /// Fills absent_keys_ once records_ is final (both factories call it).
+  void InternAbsentKeys();
+
   DatasetConfig config_;
   std::vector<Record> records_;
+  /// Precomputed AbsentKey(0..size()) so the hot path never allocates.
+  std::vector<std::string> absent_keys_;
   bool synthetic_ = true;
 };
 

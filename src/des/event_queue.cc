@@ -5,22 +5,39 @@
 namespace airindex {
 
 EventId EventQueue::Schedule(Bytes when, Callback callback) {
-  const EventId id = next_id_++;
-  cancelled_.push_back(false);
-  heap_.push(Entry{when, id, std::move(callback)});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{0, true});
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].live = true;
+  }
+  const std::uint32_t generation = slots_[slot].generation;
+  heap_.push(Entry{when, next_seq_++, slot, generation, std::move(callback)});
   ++live_count_;
-  return id;
+  return (static_cast<EventId>(generation) << 32) | slot;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id >= cancelled_.size() || cancelled_[id]) return false;
-  cancelled_[id] = true;
+  const auto slot_index = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot_index >= slots_.size()) return false;
+  Slot& slot = slots_[slot_index];
+  if (!slot.live || slot.generation != generation) return false;
+  // Advancing the generation invalidates both the caller's id and the
+  // entry still sitting in the heap (reaped lazily by SkipDead), so the
+  // slot can be recycled immediately.
+  slot.live = false;
+  ++slot.generation;
+  free_slots_.push_back(slot_index);
   --live_count_;
   return true;
 }
 
 void EventQueue::SkipDead() {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+  while (!heap_.empty() && IsDead(heap_.top())) {
     heap_.pop();
   }
 }
@@ -36,7 +53,10 @@ Bytes EventQueue::RunNext() {
   // events and reshuffle the heap.
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
-  cancelled_[entry.id] = true;
+  Slot& slot = slots_[entry.slot];
+  slot.live = false;
+  ++slot.generation;  // the fired event's id is now stale
+  free_slots_.push_back(entry.slot);
   --live_count_;
   entry.callback();
   return entry.when;

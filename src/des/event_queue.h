@@ -2,23 +2,36 @@
 #define AIRINDEX_DES_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "common/types.h"
+#include "des/inline_function.h"
 
 namespace airindex {
 
 /// Handle identifying a scheduled event, usable for cancellation.
+/// Encodes (slot, generation); stale handles — fired, cancelled, or from
+/// another queue — are rejected by Cancel.
 using EventId = std::uint64_t;
 
 /// A time-ordered queue of callbacks — the heart of the discrete-event
 /// engine. Ties are broken by insertion order (FIFO among simultaneous
 /// events), which keeps runs deterministic.
+///
+/// Two properties matter for the simulation hot path:
+///
+///  - Callbacks are stored in a small-buffer InlineFunction, so
+///    scheduling a closure of at most Callback capacity bytes (the
+///    testbed's arrival and completion events, statically asserted in
+///    core/simulator.cc) never allocates.
+///  - Cancellation bookkeeping is a slot/generation live-set whose size
+///    is O(peak live events), not O(events ever scheduled): each live
+///    event owns a slot, and firing or cancelling bumps the slot's
+///    generation (invalidating the old id) and recycles it.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<void()>;
 
   EventQueue() = default;
 
@@ -47,25 +60,48 @@ class EventQueue {
   /// Must not be called when empty.
   Bytes RunNext();
 
+  /// Number of bookkeeping slots ever allocated — the peak number of
+  /// simultaneously live events, NOT the number of events ever
+  /// scheduled. Exposed so tests can assert that long drains keep
+  /// memory bounded.
+  std::size_t slot_capacity() const { return slots_.size(); }
+
  private:
   struct Entry {
     Bytes when;
-    EventId id;
+    /// Monotone sequence number; ids are recycled, so FIFO tie-breaking
+    /// needs its own counter.
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
     Callback callback;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // ids are monotone, so this is FIFO.
+      return a.seq > b.seq;  // seq is monotone, so this is FIFO.
     }
   };
+  /// One live-set slot; `generation` advances every time the slot's
+  /// event dies, so stale EventIds (and stale heap entries) miscompare.
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
 
-  /// Drops cancelled entries from the front of the heap.
+  bool IsDead(const Entry& entry) const {
+    const Slot& slot = slots_[entry.slot];
+    return !slot.live || slot.generation != entry.generation;
+  }
+
+  /// Drops cancelled entries from the front of the heap (their slots
+  /// were already recycled by Cancel).
   void SkipDead();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<bool> cancelled_;  // indexed by EventId
-  EventId next_id_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
 };
 

@@ -1,0 +1,125 @@
+// Layer: 1 (des) — see docs/ARCHITECTURE.md for the layer map.
+#ifndef AIRINDEX_DES_INLINE_FUNCTION_H_
+#define AIRINDEX_DES_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace airindex {
+
+/// A move-only callable wrapper with a fixed inline buffer.
+///
+/// The discrete-event hot path schedules two closures per simulated
+/// request (arrival, completion); wrapping them in std::function would
+/// heap-allocate each one, which dominates the per-request cost once the
+/// access walks themselves are cheap. InlineFunction stores any callable
+/// of at most `Capacity` bytes in place; larger callables still work but
+/// fall back to the heap, so cold-path callers never have to care.
+///
+/// `fits_inline<F>` is exposed so hot paths can static_assert that their
+/// closures really are allocation-free (core/simulator.cc does).
+template <typename Signature, std::size_t Capacity = 120>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= Capacity &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t);
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<F>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<void**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(unsigned char*, Args&&...);
+    void (*move)(unsigned char* to, unsigned char* from);
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](unsigned char* to, unsigned char* from) {
+        D* source = std::launder(reinterpret_cast<D*>(from));
+        ::new (static_cast<void*>(to)) D(std::move(*source));
+        source->~D();
+      },
+      [](unsigned char* s) { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* s, Args&&... args) -> R {
+        return (**reinterpret_cast<D**>(s))(std::forward<Args>(args)...);
+      },
+      [](unsigned char* to, unsigned char* from) {
+        *reinterpret_cast<void**>(to) = *reinterpret_cast<void**>(from);
+      },
+      [](unsigned char* s) { delete *reinterpret_cast<D**>(s); },
+  };
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->move(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_DES_INLINE_FUNCTION_H_

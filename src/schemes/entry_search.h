@@ -11,6 +11,8 @@ namespace airindex {
 
 /// Finds the entry whose [key_lo, key_hi] range covers `key`, or nullptr.
 /// Entries must be sorted by key range (as all builders emit them).
+/// Every probe compares string_views into dataset storage — no owned
+/// strings, no allocation, just fixed-width memcmp-style comparisons.
 inline const PointerEntry* FindCoveringEntry(
     const std::vector<PointerEntry>& entries, std::string_view key) {
   const auto it = std::lower_bound(

@@ -141,6 +141,35 @@ TEST(BenchCompareTest, BenchNameMismatchFails) {
   EXPECT_FALSE(CompareBenchReports(base, cand, CompareOptions{}).passed());
 }
 
+TEST(BenchCompareTest, StrictCountersSurfaceSchedulerTelemetry) {
+  BenchReport base = BaseReport();
+  base.timing.replications_run = 44;
+  base.timing.replications_merged = 40;
+  base.timing.replications_discarded = 4;
+  base.timing.reorder_buffer_peak = 3;
+  BenchReport cand = base;
+
+  CompareOptions strict;
+  strict.strict_counters = true;
+  const CompareResult result = CompareBenchReports(base, cand, strict);
+  EXPECT_TRUE(result.passed());
+  // Scheduler counters appear as an informational note.
+  bool noted = false;
+  for (const std::string& note : result.notes) {
+    if (note.find("replications discarded") != std::string::npos &&
+        note.find("reorder buffer peak") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+
+  // Discard accounting that does not add up is a hard failure.
+  cand.timing.replications_discarded = 7;  // 44 - 40 != 7
+  EXPECT_FALSE(CompareBenchReports(base, cand, strict).passed());
+  // ...but only under --strict-counters.
+  EXPECT_TRUE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+}
+
 TEST(BenchCompareTest, StrictCountersDetectDrift) {
   const BenchReport base = BaseReport();
   BenchReport cand = BaseReport();

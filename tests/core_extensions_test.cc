@@ -87,22 +87,26 @@ TEST(Deadline, GenerousDeadlineChangesNothing) {
   EXPECT_EQ(with.abandoned, 0);
 }
 
-TEST(Sweep, MatchesSequentialRuns) {
+TEST(Sweep, MatchesIndividualRunsAndReusesDatasets) {
+  // All four cells share (num_records, geometry, seed), so the sweep's
+  // dataset cache builds one dataset instead of four; the statistics must
+  // still be bit-identical to a fresh Run per config.
   std::vector<TestbedConfig> configs;
   for (const SchemeKind kind :
        {SchemeKind::kFlat, SchemeKind::kDistributed, SchemeKind::kHashing,
         SchemeKind::kSignature}) {
     configs.push_back(SmallConfig(kind));
   }
-  const auto parallel = RunSweep(configs, 4);
-  ASSERT_EQ(parallel.size(), configs.size());
+  ParallelExperiment engine({.jobs = 4});
+  const auto sweep = engine.RunSweep(configs);
+  ASSERT_EQ(sweep.size(), configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    ASSERT_TRUE(parallel[i].ok());
-    const SimulationResult sequential = RunTestbed(configs[i]).value();
-    EXPECT_DOUBLE_EQ(parallel[i].value().access.mean(),
-                     sequential.access.mean());
-    EXPECT_DOUBLE_EQ(parallel[i].value().tuning.mean(),
-                     sequential.tuning.mean());
+    ASSERT_TRUE(sweep[i].ok());
+    ParallelExperiment single({.jobs = 4});
+    const SimulationResult alone = single.Run(configs[i]).value();
+    EXPECT_DOUBLE_EQ(sweep[i].value().access.mean(), alone.access.mean());
+    EXPECT_DOUBLE_EQ(sweep[i].value().tuning.mean(), alone.tuning.mean());
+    EXPECT_EQ(sweep[i].value().requests, alone.requests);
   }
 }
 
@@ -110,14 +114,16 @@ TEST(Sweep, PropagatesPerConfigErrors) {
   std::vector<TestbedConfig> configs = {SmallConfig(SchemeKind::kFlat),
                                         SmallConfig(SchemeKind::kFlat)};
   configs[1].num_records = -1;
-  const auto results = RunSweep(configs, 2);
+  ParallelExperiment engine({.jobs = 2});
+  const auto results = engine.RunSweep(configs);
   EXPECT_TRUE(results[0].ok());
   EXPECT_FALSE(results[1].ok());
 }
 
 TEST(Sweep, EmptyAndSingleThread) {
-  EXPECT_TRUE(RunSweep({}).empty());
-  const auto results = RunSweep({SmallConfig(SchemeKind::kHashing)}, 1);
+  ParallelExperiment engine({.jobs = 1});
+  EXPECT_TRUE(engine.RunSweep({}).empty());
+  const auto results = engine.RunSweep({SmallConfig(SchemeKind::kHashing)});
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].ok());
 }

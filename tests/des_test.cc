@@ -155,6 +155,44 @@ TEST(EventQueue, CallbackMaySchedule) {
   EXPECT_EQ(times, (std::vector<Bytes>{1, 1, 5, 5}));
 }
 
+TEST(EventQueue, StaleIdAfterSlotReuseIsRejected) {
+  EventQueue queue;
+  int fired = 0;
+  const EventId first = queue.Schedule(10, [&] { ++fired; });
+  queue.RunNext();
+  // The recycled slot now belongs to a new event; the old id must not
+  // cancel it.
+  const EventId second = queue.Schedule(20, [&] { ++fired; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(queue.Cancel(first));
+  EXPECT_EQ(queue.size(), 1u);
+  queue.RunNext();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, LongDrainKeepsBookkeepingBounded) {
+  // Regression test for the old std::vector<bool> cancelled_ scheme,
+  // whose memory grew with every event ever scheduled. The testbed's
+  // request chain keeps only a handful of events live at a time, so a
+  // long schedule/run/cancel drain must not grow the slot table.
+  EventQueue queue;
+  int fired = 0;
+  int cancelled = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const Bytes when = static_cast<Bytes>(i);
+    queue.Schedule(when, [&] { ++fired; });
+    const EventId doomed = queue.Schedule(when, [&] { ++fired; });
+    if (queue.Cancel(doomed)) ++cancelled;
+    queue.RunNext();
+  }
+  while (!queue.empty()) queue.RunNext();
+  EXPECT_EQ(fired, 200000);
+  EXPECT_EQ(cancelled, 200000);
+  // At most 2 events are ever live simultaneously, so the live-set must
+  // stay tiny regardless of how many events flowed through.
+  EXPECT_LE(queue.slot_capacity(), 4u);
+}
+
 TEST(Simulation, ClockFollowsEvents) {
   Simulation sim;
   std::vector<Bytes> seen;

@@ -125,8 +125,11 @@ BenchReport MakeReport() {
   report.timing.jobs = 4;
   report.timing.replications_run = 44;
   report.timing.replications_merged = 40;
+  report.timing.replications_discarded = 4;
+  report.timing.reorder_buffer_peak = 3;
   report.timing.wall_seconds = 1.25;
   report.timing.busy_seconds = 4.5;
+  report.timing.idle_seconds = 0.5;
   return report;
 }
 
@@ -152,7 +155,10 @@ TEST(BenchReportTest, JsonRoundTrip) {
   EXPECT_TRUE(back.points[0].converged);
   EXPECT_TRUE(back.counters == report.counters);
   EXPECT_EQ(back.timing.jobs, 4);
+  EXPECT_EQ(back.timing.replications_discarded, 4);
+  EXPECT_EQ(back.timing.reorder_buffer_peak, 3);
   EXPECT_DOUBLE_EQ(back.timing.wall_seconds, 1.25);
+  EXPECT_DOUBLE_EQ(back.timing.idle_seconds, 0.5);
 
   // Serialize → parse → serialize is byte-identical (stable baselines).
   const std::string once = json.Serialize(2);

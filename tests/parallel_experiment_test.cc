@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/accuracy_controller.h"
 #include "core/experiment.h"
 #include "core/simulator.h"
 #include "core/testbed_config.h"
@@ -67,6 +68,108 @@ void ExpectIdenticalResults(const SimulationResult& a,
   EXPECT_EQ(a.outcome_mismatches, b.outcome_mismatches);
   EXPECT_EQ(a.cycle_bytes, b.cycle_bytes);
   EXPECT_EQ(a.num_buckets, b.num_buckets);
+}
+
+/// What the old wave-barrier engine (and a fully serial run) produces: a
+/// test-local reference that executes replications one by one in id
+/// order, merges each into the running statistics, and applies the
+/// Student-t stopping rule after every merge. `stopping_replication` is
+/// the id of the replication whose merge satisfied the rule (or
+/// max_rounds - 1 when the cap hit first).
+struct WaveReference {
+  SimulationResult merged;
+  int stopping_replication = -1;
+};
+
+WaveReference WaveReferenceRun(const TestbedConfig& config) {
+  const auto dataset = BuildTestbedDataset(config).value();
+  const BroadcastServer server =
+      BroadcastServer::Create(config.scheme, dataset, config.geometry,
+                              config.params)
+          .value();
+  AccuracyController accuracy(config.confidence_level,
+                              config.confidence_accuracy);
+  WaveReference reference;
+  SimulationResult& merged = reference.merged;
+  int rounds = 0;
+  for (int id = 0; id < config.max_rounds; ++id) {
+    const ReplicationResult replication = RunReplication(
+        server, *dataset, config,
+        ReplicationSeed(config.seed, static_cast<std::uint64_t>(id)));
+    merged.access.Merge(replication.access);
+    merged.tuning.Merge(replication.tuning);
+    merged.probes.Merge(replication.probes);
+    merged.access_histogram.Merge(replication.access_histogram);
+    merged.tuning_histogram.Merge(replication.tuning_histogram);
+    merged.found += replication.found;
+    merged.abandoned += replication.abandoned;
+    merged.false_drops += replication.false_drops;
+    merged.anomalies += replication.anomalies;
+    merged.outcome_mismatches += replication.outcome_mismatches;
+    accuracy.AddRound(replication.round_access_mean,
+                      replication.round_tuning_mean);
+    ++rounds;
+    if ((rounds >= config.min_rounds && accuracy.Satisfied()) ||
+        rounds >= config.max_rounds) {
+      reference.stopping_replication = id;
+      break;
+    }
+  }
+  merged.requests = merged.access.count();
+  merged.rounds = rounds;
+  merged.converged = accuracy.Satisfied();
+  merged.access_check = accuracy.access_check();
+  merged.tuning_check = accuracy.tuning_check();
+  const Channel& channel = server.channel();
+  merged.cycle_bytes = channel.cycle_bytes();
+  merged.num_buckets = static_cast<std::int64_t>(channel.num_buckets());
+  return reference;
+}
+
+TEST(ParallelExperiment, StreamedMergeMatchesWaveReference) {
+  // The tentpole guarantee: the streaming ordered-merge scheduler is
+  // bit-identical to the wave-merged (serial id-order) statistics for
+  // every jobs value, including which replication satisfies the
+  // stopping rule.
+  for (const SchemeKind kind :
+       {SchemeKind::kDistributed, SchemeKind::kSignature}) {
+    SCOPED_TRACE(SchemeKindToString(kind));
+    const TestbedConfig config = SmallConfig(kind);
+    const WaveReference reference = WaveReferenceRun(config);
+    // The stopping rule must actually fire mid-stream for this test to
+    // exercise the cancellation point.
+    ASSERT_TRUE(reference.merged.converged);
+    ASSERT_LT(reference.stopping_replication, config.max_rounds - 1);
+    for (const int jobs : {1, 2, 8}) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs));
+      ParallelExperiment streamed({.jobs = jobs});
+      const Result<SimulationResult> result = streamed.Run(config);
+      ASSERT_TRUE(result.ok());
+      ExpectIdenticalResults(result.value(), reference.merged);
+      // rounds == stopping id + 1: the engine merged exactly the prefix
+      // ending at the replication that satisfied the rule.
+      EXPECT_EQ(result.value().rounds, reference.stopping_replication + 1);
+      EXPECT_EQ(streamed.timing().replications_merged,
+                reference.stopping_replication + 1);
+    }
+  }
+}
+
+TEST(ParallelExperiment, LookaheadDoesNotChangeResults) {
+  const TestbedConfig config = SmallConfig(SchemeKind::kFlat);
+  ParallelExperiment narrow({.jobs = 2, .lookahead = 0});
+  ParallelExperiment wide({.jobs = 2, .lookahead = 16});
+  const Result<SimulationResult> a = narrow.Run(config);
+  const Result<SimulationResult> b = wide.Run(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIdenticalResults(a.value(), b.value());
+  // A wider window can only run MORE speculative replications, never
+  // fewer merges.
+  EXPECT_EQ(narrow.timing().replications_merged,
+            wide.timing().replications_merged);
+  EXPECT_LE(narrow.timing().replications_run,
+            wide.timing().replications_run);
 }
 
 TEST(ParallelExperiment, JobsOneAndJobsEightAreBitIdentical) {
@@ -143,8 +246,13 @@ TEST(ParallelExperiment, TimingIsAccounted) {
   EXPECT_EQ(timing.jobs, 2);
   EXPECT_EQ(timing.replications_merged, result.rounds);
   EXPECT_GE(timing.replications_run, timing.replications_merged);
+  EXPECT_EQ(timing.replications_discarded,
+            timing.replications_run - timing.replications_merged);
+  // At least the merged replications flowed through the reorder buffer.
+  EXPECT_GE(timing.reorder_buffer_peak, 1);
   EXPECT_GT(timing.wall_seconds, 0.0);
   EXPECT_GT(timing.busy_seconds, 0.0);
+  EXPECT_GE(timing.idle_seconds, 0.0);
   EXPECT_GE(timing.worker_utilization(), 0.0);
   EXPECT_LE(timing.worker_utilization(), 1.0);
   EXPECT_GT(timing.replications_per_second(), 0.0);

@@ -161,6 +161,30 @@ CompareResult CompareBenchReports(const BenchReport& baseline,
                                   cand_entry.name + "'");
       }
     }
+
+    // Scheduler telemetry from the timing block. Speculative discards,
+    // reorder-buffer depth and pool idle time vary with machine load and
+    // jobs, so they are surfaced as notes, not gated — but the candidate
+    // must at least be internally consistent.
+    if (candidate.timing.replications_discarded !=
+        candidate.timing.replications_run -
+            candidate.timing.replications_merged) {
+      result.failures.push_back(
+          "candidate timing is inconsistent: replications_discarded " +
+          std::to_string(candidate.timing.replications_discarded) +
+          " != replications_run - replications_merged (" +
+          std::to_string(candidate.timing.replications_run) + " - " +
+          std::to_string(candidate.timing.replications_merged) + ")");
+    }
+    result.notes.push_back(
+        "scheduler: replications discarded " +
+        std::to_string(baseline.timing.replications_discarded) + " -> " +
+        std::to_string(candidate.timing.replications_discarded) +
+        ", reorder buffer peak " +
+        std::to_string(baseline.timing.reorder_buffer_peak) + " -> " +
+        std::to_string(candidate.timing.reorder_buffer_peak) +
+        ", pool idle " + FormatValue(baseline.timing.idle_seconds) +
+        "s -> " + FormatValue(candidate.timing.idle_seconds) + "s");
   }
 
   if (options.max_wall_regress_percent >= 0.0 &&

@@ -22,7 +22,10 @@ struct CompareOptions {
   double max_wall_regress_percent = -1.0;
   /// Require counter totals to match exactly. Off by default: libm
   /// differences across machines can shift replication counts at a
-  /// stopping-rule boundary even when every mean agrees.
+  /// stopping-rule boundary even when every mean agrees. Also surfaces
+  /// the streaming scheduler's timing counters (speculative replications
+  /// discarded, reorder-buffer peak, pool idle seconds) as notes and
+  /// checks the candidate's discard accounting is internally consistent.
   bool strict_counters = false;
 };
 
