@@ -42,9 +42,37 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
         std::exit(2);
       }
       options.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--channels") == 0) {
+      options.multichannel.num_channels =
+          ParseIntArg(argc, argv, &i, "--channels");
+      if (options.multichannel.num_channels < 1) {
+        std::fprintf(stderr, "--channels must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--switch-cost") == 0) {
+      options.multichannel.switch_cost_bytes =
+          ParseIntArg(argc, argv, &i, "--switch-cost");
+    } else if (std::strcmp(argv[i], "--allocation") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--allocation requires a strategy name\n");
+        std::exit(2);
+      }
+      if (!ParseChannelAllocation(argv[++i],
+                                  &options.multichannel.allocation)) {
+        std::fprintf(stderr,
+                     "unknown allocation '%s' (want index-on-one, "
+                     "data-partitioned or replicated-index)\n",
+                     argv[i]);
+        std::exit(2);
+      }
     }
   }
   return options;
+}
+
+void ApplyMultiChannelOptions(const BenchOptions& options,
+                              TestbedConfig* config) {
+  config->multichannel = options.multichannel;
 }
 
 BenchReporter::BenchReporter(std::string bench_name,
@@ -54,6 +82,15 @@ BenchReporter::BenchReporter(std::string bench_name,
   AddConfig("quick", options.quick ? "true" : "false");
   if (options.records > 0) {
     AddConfig("records_override", std::to_string(options.records));
+  }
+  // Only a real multichannel run records these keys: a single channel
+  // must reproduce pre-multichannel reports byte-identically.
+  if (options.multichannel.num_channels > 1) {
+    AddConfig("channels", std::to_string(options.multichannel.num_channels));
+    AddConfig("switch_cost_bytes",
+              std::to_string(options.multichannel.switch_cost_bytes));
+    AddConfig("allocation",
+              ChannelAllocationToString(options.multichannel.allocation));
   }
 }
 

@@ -11,6 +11,12 @@
 //                  ignore it)
 //   --json PATH    additionally write the machine-readable report
 //                  (core/json_report.h schema) to PATH
+//   --channels N   broadcast over N synchronized channels (default 1 =
+//                  the paper's single-channel testbed; testbed benches
+//                  honour it via ApplyMultiChannelOptions)
+//   --switch-cost B  broadcast bytes a client loses per channel hop
+//   --allocation S   multichannel allocation strategy: index-on-one,
+//                  data-partitioned (default) or replicated-index
 //
 // BenchReporter accumulates the report while the bench prints its usual
 // tables, then writes the JSON file on Finish() when --json was given.
@@ -37,12 +43,22 @@ struct BenchOptions {
   int records = 0;
   /// Empty means "no JSON output".
   std::string json_path;
+  /// Multichannel flags. The defaults describe the single-channel
+  /// testbed, under which ApplyMultiChannelOptions is a no-op and the
+  /// JSON report stays byte-identical with pre-multichannel baselines.
+  MultiChannelParams multichannel;
 };
 
 /// Parses the shared flags, ignoring anything it does not recognise (so a
 /// bench can layer extra flags on top). Prints to stderr and exits with
 /// status 2 on a malformed value (e.g. `--jobs` without a number).
 BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Copies the parsed multichannel flags into a testbed config. Testbed
+/// benches call this per grid cell so --channels / --switch-cost /
+/// --allocation apply uniformly.
+void ApplyMultiChannelOptions(const BenchOptions& options,
+                              TestbedConfig* config);
 
 /// Collects bench results into a BenchReport and writes it when --json
 /// was requested.

@@ -74,6 +74,7 @@ int Main(int argc, char** argv) {
       config.num_records = kNumRecords;
       config.data_availability = static_cast<double>(percent) / 100.0;
       config.seed = 1000 + static_cast<std::uint64_t>(percent);
+      ApplyMultiChannelOptions(options, &config);
       if (quick) {
         config.min_rounds = 10;
         config.max_rounds = 40;

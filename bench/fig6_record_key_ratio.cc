@@ -70,6 +70,7 @@ int Main(int argc, char** argv) {
       config.num_records = kNumRecords;
       config.geometry.key_bytes = 500 / ratio;
       config.seed = 2000 + static_cast<std::uint64_t>(ratio);
+      ApplyMultiChannelOptions(options, &config);
       if (quick) {
         config.min_rounds = 10;
         config.max_rounds = 40;

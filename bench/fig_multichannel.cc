@@ -1,0 +1,182 @@
+// Multichannel scaling: access time (a) and tuning time (b) versus the
+// number of broadcast channels, for the three channel-allocation
+// strategies of schemes/multichannel.h — data-partitioned (1,m),
+// data-partitioned distributed indexing, index-on-one and
+// replicated-index — with the simulated series "(S)" next to the
+// analytical series "(A)". The 1-channel column is the paper's original
+// single-channel testbed (the multichannel engine is bypassed there).
+//
+// Usage: fig_multichannel [--quick] [--csv] [--jobs N] [--records N]
+//                         [--switch-cost B] [--json PATH]
+// (shared bench flags — see bench/bench_main.h; the channel grid is this
+// bench's sweep axis, so --channels is ignored here.)
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analytical/models.h"
+#include "bench_main.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+#include "schemes/multichannel.h"
+
+namespace airindex {
+namespace {
+
+struct SeriesUnderTest {
+  SchemeKind kind;
+  ChannelAllocation allocation;
+  const char* label;
+};
+
+AnalyticalEstimate SingleChannelModel(SchemeKind kind, int num_records,
+                                      const BucketGeometry& geometry) {
+  if (kind == SchemeKind::kDistributed) {
+    return DistributedModelExact(
+        num_records, geometry,
+        DistributedOptimalRExact(num_records, geometry));
+  }
+  return OneMModelExact(num_records, geometry,
+                        OneMOptimalMExact(num_records, geometry));
+}
+
+AnalyticalEstimate SeriesModel(const SeriesUnderTest& series, int num_records,
+                               int channels, const BucketGeometry& geometry,
+                               Bytes switch_cost) {
+  if (channels == 1) {
+    return SingleChannelModel(series.kind, num_records, geometry);
+  }
+  switch (series.allocation) {
+    case ChannelAllocation::kDataPartitioned: {
+      const int per_partition = static_cast<int>(std::llround(
+          static_cast<double>(num_records) / static_cast<double>(channels)));
+      return DataPartitionedModel(
+          SingleChannelModel(series.kind, per_partition, geometry), channels,
+          geometry, switch_cost);
+    }
+    case ChannelAllocation::kIndexOnOne:
+      return IndexOnOneModel(num_records, geometry, channels, switch_cost);
+    case ChannelAllocation::kReplicatedIndex:
+      return ReplicatedIndexModel(num_records, geometry, channels,
+                                  switch_cost);
+  }
+  return {};
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const bool quick = options.quick;
+  const bool csv = options.csv;
+
+  const std::vector<int> channel_counts =
+      quick ? std::vector<int>{1, 2, 3, 4}
+            : std::vector<int>{1, 2, 3, 4, 6, 8};
+  const int num_records = options.records > 0 ? options.records : 7000;
+  const Bytes switch_cost = options.multichannel.switch_cost_bytes;
+  const std::vector<SeriesUnderTest> series_list = {
+      {SchemeKind::kOneM, ChannelAllocation::kDataPartitioned, "(1,m) part"},
+      {SchemeKind::kDistributed, ChannelAllocation::kDataPartitioned,
+       "dist part"},
+      {SchemeKind::kOneM, ChannelAllocation::kIndexOnOne, "index-on-one"},
+      {SchemeKind::kOneM, ChannelAllocation::kReplicatedIndex,
+       "replicated-index"},
+  };
+
+  std::vector<std::string> columns = {"channels"};
+  for (const auto& series : series_list) {
+    columns.push_back(std::string(series.label) + " (S)");
+    columns.push_back(std::string(series.label) + " (A)");
+  }
+  ReportTable access_table(columns);
+  ReportTable tuning_table(columns);
+
+  BenchReporter reporter("fig_multichannel", options);
+  {
+    std::string counts;
+    for (const int n : channel_counts) {
+      if (!counts.empty()) counts += ",";
+      counts += std::to_string(n);
+    }
+    reporter.AddConfig("channel_counts", counts);
+    reporter.AddConfig("records", std::to_string(num_records));
+    reporter.AddConfig("switch_cost_bytes", std::to_string(switch_cost));
+  }
+
+  std::cout << "Multichannel: access/tuning time vs number of channels\n"
+            << num_records << " records, switch cost " << switch_cost
+            << " B/hop, Table 1 settings otherwise\n"
+            << std::flush;
+
+  std::vector<TestbedConfig> configs;
+  for (const int channels : channel_counts) {
+    for (const auto& series : series_list) {
+      TestbedConfig config;
+      config.scheme = series.kind;
+      config.num_records = num_records;
+      config.multichannel.num_channels = channels;
+      config.multichannel.switch_cost_bytes = switch_cost;
+      config.multichannel.allocation = series.allocation;
+      config.seed = 4242 + static_cast<std::uint64_t>(num_records);
+      if (quick) {
+        config.min_rounds = 10;
+        config.max_rounds = 40;
+      }
+      configs.push_back(config);
+    }
+  }
+  ParallelExperiment experiment({.jobs = options.jobs});
+  const auto runs = experiment.RunSweep(configs);
+
+  std::size_t index = 0;
+  for (const int channels : channel_counts) {
+    std::vector<std::string> access_row = {std::to_string(channels)};
+    std::vector<std::string> tuning_row = {std::to_string(channels)};
+    for (const auto& series : series_list) {
+      const TestbedConfig& config = configs[index];
+      const Result<SimulationResult>& run = runs[index++];
+      if (!run.ok()) {
+        std::cerr << "simulation failed: " << run.status().ToString() << "\n";
+        return 1;
+      }
+      const SimulationResult& sim = run.value();
+      reporter.AddSimulationPoint(
+          {{"channels", std::to_string(channels)}, {"series", series.label}},
+          sim);
+
+      const AnalyticalEstimate model = SeriesModel(
+          series, num_records, channels, config.geometry, switch_cost);
+      access_row.push_back(FormatDouble(sim.access.mean(), 0));
+      access_row.push_back(FormatDouble(model.access_time, 0));
+      tuning_row.push_back(FormatDouble(sim.tuning.mean(), 0));
+      tuning_row.push_back(FormatDouble(model.tuning_time, 0));
+      if (sim.anomalies != 0 || sim.outcome_mismatches != 0) {
+        std::cerr << "WARNING: " << series.label << " at " << channels
+                  << " channels: " << sim.anomalies << " anomalies, "
+                  << sim.outcome_mismatches << " outcome mismatches\n";
+      }
+    }
+    access_table.AddRow(access_row);
+    tuning_table.AddRow(tuning_row);
+  }
+
+  std::cout << "\n(a) Access time (bytes) vs number of channels\n";
+  csv ? access_table.PrintCsv(std::cout) : access_table.Print(std::cout);
+  std::cout << "\n(b) Tuning time (bytes) vs number of channels\n";
+  csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

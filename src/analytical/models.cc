@@ -271,4 +271,96 @@ AnalyticalEstimate SignatureModel(int num_records,
   return estimate;
 }
 
+namespace {
+
+/// Re-alignment wait after a hop of cost C on a uniform-bucket channel:
+/// the client comes back mid-bucket unless C is a bucket multiple.
+double HopResidualWait(double bucket_bytes, double switch_cost) {
+  const double rem =
+      switch_cost - bucket_bytes * std::floor(switch_cost / bucket_bytes);
+  return rem == 0.0 ? 0.0 : bucket_bytes - rem;
+}
+
+}  // namespace
+
+AnalyticalEstimate DataPartitionedModel(const AnalyticalEstimate& per_partition,
+                                        int num_channels,
+                                        const BucketGeometry& geometry,
+                                        Bytes switch_cost_bytes) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const auto n = static_cast<double>(num_channels);
+  const auto c = static_cast<double>(switch_cost_bytes);
+  const double p_hop = (n - 1.0) / n;
+  const double res = HopResidualWait(dt, c);
+
+  // One directory bucket on top of the partition walk; the partition
+  // model's own expected initial wait (Dt/2) stands in for the
+  // post-directory / post-hop re-alignment, corrected by the hop
+  // residual.
+  AnalyticalEstimate estimate;
+  estimate.access_time = dt + per_partition.access_time + p_hop * (c + res);
+  estimate.tuning_time = dt + per_partition.tuning_time + p_hop * res;
+  return estimate;
+}
+
+AnalyticalEstimate IndexOnOneModel(int num_records,
+                                   const BucketGeometry& geometry,
+                                   int num_channels,
+                                   Bytes switch_cost_bytes) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const auto c = static_cast<double>(switch_cost_bytes);
+  const BTreeLevelCounts levels =
+      ComputeBTreeLevels(num_records, geometry.index_fanout());
+  double index_buckets = 0.0;
+  for (const long long count : levels.count_at_depth) {
+    index_buckets += static_cast<double>(count);
+  }
+  const double k = static_cast<double>(levels.height);
+  const double partition_records = static_cast<double>(num_records) /
+                                   static_cast<double>(num_channels - 1);
+
+  // Initial wait + first bucket, wait for the preorder root (half the
+  // index cycle), descent to the leaf (half the preorder on average),
+  // one hop to the data channel, half the data cycle, download.
+  AnalyticalEstimate estimate;
+  estimate.access_time = 1.5 * dt + 0.5 * index_buckets * dt +
+                         (0.5 * index_buckets * dt + dt) + c +
+                         HopResidualWait(dt, c) +
+                         0.5 * partition_records * dt + dt;
+  // Listening: initial wait + first bucket + k index levels + download.
+  estimate.tuning_time = 1.5 * dt + k * dt + dt;
+  return estimate;
+}
+
+AnalyticalEstimate ReplicatedIndexModel(int num_records,
+                                        const BucketGeometry& geometry,
+                                        int num_channels,
+                                        Bytes switch_cost_bytes) {
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const auto n = static_cast<double>(num_channels);
+  const auto c = static_cast<double>(switch_cost_bytes);
+  const BTreeLevelCounts levels =
+      ComputeBTreeLevels(num_records, geometry.index_fanout());
+  double index_buckets = 0.0;
+  for (const long long count : levels.count_at_depth) {
+    index_buckets += static_cast<double>(count);
+  }
+  const double k = static_cast<double>(levels.height);
+  const double cycle =
+      (index_buckets + static_cast<double>(num_records) / n) * dt;
+  const double p_hop = (n - 1.0) / n;
+
+  // Initial wait + first bucket, wait for the index start (half the
+  // channel cycle), descent (half the preorder), the probabilistic hop,
+  // the data wait (half a cycle; the data region is a cycle fraction on
+  // the target channel), download.
+  AnalyticalEstimate estimate;
+  estimate.access_time = 1.5 * dt + 0.5 * cycle +
+                         (0.5 * index_buckets * dt + dt) +
+                         p_hop * (c + HopResidualWait(dt, c)) + 0.5 * cycle +
+                         dt;
+  estimate.tuning_time = 1.5 * dt + k * dt + dt;
+  return estimate;
+}
+
 }  // namespace airindex

@@ -112,6 +112,39 @@ AnalyticalEstimate SignatureModel(int num_records,
                                   const BucketGeometry& geometry,
                                   double false_drop_rate);
 
+// --- multichannel models (schemes/multichannel.h strategies) ------------
+//
+// All three assume N synchronized channels on one byte clock and a
+// client that starts on a uniformly random channel (index-on-one: always
+// the index channel), pays `switch_cost_bytes` of dead air per hop, and
+// hops at most once per request. The residual-wait term
+// res = (Dt - C mod Dt) mod Dt is the re-alignment to the next bucket
+// boundary after a hop of cost C.
+
+/// Data-partitioned-by-key: each channel runs `per_partition` — the
+/// single-channel estimate of the base scheme over Nr/N records. One
+/// directory bucket tells the client its home channel; a hop happens with
+/// probability (N-1)/N.
+AnalyticalEstimate DataPartitionedModel(const AnalyticalEstimate& per_partition,
+                                        int num_channels,
+                                        const BucketGeometry& geometry,
+                                        Bytes switch_cost_bytes);
+
+/// Index-on-one: channel 0 cycles the global B+ tree (I buckets), the
+/// other N-1 channels cycle flat data partitions of Nr/(N-1) records.
+/// Every hit pays exactly one hop.
+AnalyticalEstimate IndexOnOneModel(int num_records,
+                                   const BucketGeometry& geometry,
+                                   int num_channels, Bytes switch_cost_bytes);
+
+/// Replicated-index: every channel cycles [global tree | its data
+/// partition of Nr/N records]; only the final data jump hops, with
+/// probability (N-1)/N.
+AnalyticalEstimate ReplicatedIndexModel(int num_records,
+                                        const BucketGeometry& geometry,
+                                        int num_channels,
+                                        Bytes switch_cost_bytes);
+
 }  // namespace airindex
 
 #endif  // AIRINDEX_ANALYTICAL_MODELS_H_

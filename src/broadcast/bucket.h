@@ -23,6 +23,11 @@ enum class BucketKind {
 /// Returns a short printable name for a bucket kind.
 const char* BucketKindToString(BucketKind kind);
 
+/// PointerEntry::target_channel value meaning "the channel this bucket is
+/// broadcast on" — the single-channel case, and the default so every
+/// existing scheme builder stays unchanged.
+inline constexpr int kSameChannel = -1;
+
 /// One directory entry inside an index bucket: "keys up to `key_hi` (and
 /// from `key_lo`) are reachable at cycle phase `target_phase`".
 ///
@@ -38,6 +43,11 @@ struct PointerEntry {
   std::string_view key_lo;
   std::string_view key_hi;
   Bytes target_phase = kInvalidPhase;
+  /// Channel the phase is relative to: kSameChannel for the bucket's own
+  /// channel (all single-channel schemes), otherwise an index into the
+  /// owning ChannelGroup. Clients pay the group's switch cost when they
+  /// follow a pointer off their current channel.
+  int target_channel = kSameChannel;
 };
 
 /// One bucket instance on the broadcast cycle.

@@ -6,11 +6,21 @@ namespace airindex {
 
 Result<BroadcastServer> BroadcastServer::Create(
     SchemeKind kind, std::shared_ptr<const Dataset> dataset,
-    const BucketGeometry& geometry, const SchemeParams& params) {
+    const BucketGeometry& geometry, const SchemeParams& params,
+    const MultiChannelParams& multichannel) {
+  if (multichannel.num_channels > 1) {
+    Result<std::unique_ptr<MultiChannelProgram>> program =
+        MultiChannelProgram::Build(kind, std::move(dataset), geometry, params,
+                                   multichannel);
+    if (!program.ok()) return program.status();
+    std::unique_ptr<MultiChannelProgram> owned = std::move(program).value();
+    const MultiChannelProgram* alias = owned.get();
+    return BroadcastServer(std::move(owned), alias);
+  }
   Result<std::unique_ptr<BroadcastScheme>> scheme =
       BuildScheme(kind, std::move(dataset), geometry, params);
   if (!scheme.ok()) return scheme.status();
-  return BroadcastServer(std::move(scheme).value());
+  return BroadcastServer(std::move(scheme).value(), nullptr);
 }
 
 }  // namespace airindex

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "schemes/access.h"
+#include "schemes/multichannel.h"
 #include "schemes/scheme.h"
 
 namespace airindex {
@@ -17,21 +18,31 @@ namespace airindex {
 /// The broadcast is periodic and deterministic, so "broadcasting" is the
 /// channel itself plus the byte clock; requests listen by running their
 /// scheme's access protocol against it at their arrival time.
+///
+/// When `multichannel.num_channels > 1` the scheme is wrapped in a
+/// MultiChannelProgram spreading index and data over a ChannelGroup; a
+/// single channel runs the base scheme directly so single-channel results
+/// stay byte-identical with pre-multichannel builds.
 class BroadcastServer {
  public:
-  /// Builds the channel for `kind` over `dataset`.
+  /// Builds the channel(s) for `kind` over `dataset`.
   static Result<BroadcastServer> Create(
       SchemeKind kind, std::shared_ptr<const Dataset> dataset,
-      const BucketGeometry& geometry, const SchemeParams& params);
+      const BucketGeometry& geometry, const SchemeParams& params,
+      const MultiChannelParams& multichannel = {});
 
   BroadcastServer(BroadcastServer&&) = default;
   BroadcastServer& operator=(BroadcastServer&&) = default;
 
-  /// The scheme's broadcast cycle.
+  /// The scheme's broadcast cycle (channel 0 of the group when
+  /// multichannel).
   const Channel& channel() const { return scheme_->channel(); }
 
   /// The access method in use.
   const BroadcastScheme& scheme() const { return *scheme_; }
+
+  /// The multichannel program, or nullptr when running a single channel.
+  const MultiChannelProgram* multichannel() const { return multi_; }
 
   /// A client tuning in at `tune_in` and requesting `key`.
   AccessResult Listen(std::string_view key, Bytes tune_in) const {
@@ -40,15 +51,20 @@ class BroadcastServer {
 
   /// Buckets the server has fully broadcast by absolute time `now`
   /// (telemetry; the broadcast is periodic, so this is pure arithmetic).
+  /// Channels of a group transmit in parallel and all count.
   std::int64_t BucketsBroadcastBy(Bytes now) const {
-    return channel().BucketsBroadcastBy(now);
+    return multi_ != nullptr ? multi_->group().BucketsBroadcastBy(now)
+                             : channel().BucketsBroadcastBy(now);
   }
 
  private:
-  explicit BroadcastServer(std::unique_ptr<BroadcastScheme> scheme)
-      : scheme_(std::move(scheme)) {}
+  explicit BroadcastServer(std::unique_ptr<BroadcastScheme> scheme,
+                           const MultiChannelProgram* multi)
+      : scheme_(std::move(scheme)), multi_(multi) {}
 
   std::unique_ptr<BroadcastScheme> scheme_;
+  /// Non-owning alias of scheme_ when it is a MultiChannelProgram.
+  const MultiChannelProgram* multi_ = nullptr;
 };
 
 }  // namespace airindex

@@ -1,5 +1,6 @@
 #include "core/deadline.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace airindex {
@@ -17,10 +18,34 @@ AccessResult ApplyDeadline(const AccessResult& walk,
   truncated.found = false;
   truncated.abandoned = true;
   truncated.access_time = policy.access_deadline_bytes;
-  truncated.tuning_time = static_cast<Bytes>(
-      std::llround(fraction * static_cast<double>(walk.tuning_time)));
   truncated.probes = static_cast<int>(
       std::llround(fraction * static_cast<double>(walk.probes)));
+  // Channel accounting stays self-consistent under truncation: hops are
+  // prorated like probes, switch bytes keep the per-hop cost, and a walk
+  // cut before its (only) hop ends where it started.
+  truncated.channel_hops = static_cast<std::int16_t>(
+      std::llround(fraction * static_cast<double>(walk.channel_hops)));
+  if (truncated.channel_hops == 0) {
+    truncated.switch_bytes = 0;
+    truncated.final_channel = walk.start_channel;
+    truncated.final_channel_tuning = 0;
+  } else {
+    truncated.switch_bytes =
+        std::min(truncated.access_time, walk.switch_bytes /
+                                            walk.channel_hops *
+                                            truncated.channel_hops);
+  }
+  // Listening can never exceed the deadline minus the retune dead air.
+  truncated.tuning_time = std::min(
+      truncated.access_time - truncated.switch_bytes,
+      static_cast<Bytes>(
+          std::llround(fraction * static_cast<double>(walk.tuning_time))));
+  if (truncated.channel_hops > 0) {
+    truncated.final_channel_tuning = std::min(
+        truncated.tuning_time,
+        static_cast<Bytes>(std::llround(
+            fraction * static_cast<double>(walk.final_channel_tuning))));
+  }
   return truncated;
 }
 

@@ -36,6 +36,14 @@ AccessResult AccessWithErrors(const BroadcastScheme& scheme,
       total.overflow_hops += walk.overflow_hops;
       total.tuning_time += walk.tuning_time;
       total.access_time = now + walk.access_time - tune_in;
+      // Channel accounting comes from the clean attempt alone: an aborted
+      // walk's hop position relative to the corrupted probe is unknown,
+      // so aborted attempts charge neither hops nor switch bytes.
+      total.channel_hops = walk.channel_hops;
+      total.switch_bytes = walk.switch_bytes;
+      total.start_channel = walk.start_channel;
+      total.final_channel = walk.final_channel;
+      total.final_channel_tuning = walk.final_channel_tuning;
       return total;
     }
     // The aborted walk's bucket reads count as plain probes below; its

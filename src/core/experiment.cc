@@ -51,8 +51,9 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   if (!dataset_result.ok()) return dataset_result.status();
   const std::shared_ptr<const Dataset> dataset =
       std::move(dataset_result).value();
-  Result<BroadcastServer> server_result = BroadcastServer::Create(
-      config.scheme, dataset, config.geometry, config.params);
+  Result<BroadcastServer> server_result =
+      BroadcastServer::Create(config.scheme, dataset, config.geometry,
+                              config.params, config.multichannel);
   if (!server_result.ok()) return server_result.status();
   const BroadcastServer server = std::move(server_result).value();
 
@@ -147,15 +148,7 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   merged.access_check = accuracy.access_check();
   merged.tuning_check = accuracy.tuning_check();
 
-  const Channel& channel = server.channel();
-  merged.cycle_bytes = channel.cycle_bytes();
-  merged.num_buckets = static_cast<std::int64_t>(channel.num_buckets());
-  merged.num_index_buckets =
-      static_cast<std::int64_t>(channel.num_index_buckets());
-  merged.num_signature_buckets =
-      static_cast<std::int64_t>(channel.num_signature_buckets());
-  merged.num_data_buckets =
-      static_cast<std::int64_t>(channel.num_data_buckets());
+  FillChannelShape(server, &merged);
 
   const double wall = SecondsSince(start);
   timing_.replications_merged += rounds;

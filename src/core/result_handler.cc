@@ -1,5 +1,7 @@
 #include "core/result_handler.h"
 
+#include <algorithm>
+
 namespace airindex {
 
 void ResultHandler::Add(const AccessResult& result, bool expected_on_air) {
@@ -18,10 +20,28 @@ void ResultHandler::Add(const AccessResult& result, bool expected_on_air) {
   anomalies_ += result.anomalies;
   buckets_listened_ += result.probes;
   bytes_listened_ += result.tuning_time;
-  bytes_dozed_ += result.access_time - result.tuning_time;
+  // Switch overhead is neither listened nor dozed: the tuner is retuning.
+  bytes_dozed_ +=
+      result.access_time - result.tuning_time - result.switch_bytes;
   index_probes_ += result.index_probes;
   overflow_hops_ += result.overflow_hops;
   error_retries_ += result.retries;
+  channel_hops_ += result.channel_hops;
+  switch_bytes_ += result.switch_bytes;
+  const int top =
+      std::max<int>(result.start_channel, result.final_channel);
+  if (static_cast<std::size_t>(top) >= tuning_by_channel_.size()) {
+    tuning_by_channel_.resize(static_cast<std::size_t>(top) + 1, 0);
+  }
+  if (result.start_channel == result.final_channel) {
+    tuning_by_channel_[static_cast<std::size_t>(result.final_channel)] +=
+        result.tuning_time;
+  } else {
+    tuning_by_channel_[static_cast<std::size_t>(result.final_channel)] +=
+        result.final_channel_tuning;
+    tuning_by_channel_[static_cast<std::size_t>(result.start_channel)] +=
+        result.tuning_time - result.final_channel_tuning;
+  }
   // An abandoned request legitimately misses an on-air record.
   if (!result.abandoned && result.found != expected_on_air) {
     ++outcome_mismatches_;

@@ -2,6 +2,7 @@
 #define AIRINDEX_CORE_RESULT_HANDLER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "schemes/access.h"
 #include "stats/histogram.h"
@@ -57,6 +58,16 @@ class ResultHandler {
   std::int64_t overflow_hops() const { return overflow_hops_; }
   std::int64_t error_retries() const { return error_retries_; }
 
+  /// Multichannel telemetry: channel hops, broadcast bytes lost while
+  /// retuning (neither listened nor dozed), and tuning bytes split by the
+  /// channel they were spent on. All zero on a single channel.
+  std::int64_t channel_hops() const { return channel_hops_; }
+  std::int64_t switch_bytes() const { return switch_bytes_; }
+  std::int64_t tuning_bytes_on_channel(int channel) const {
+    const auto i = static_cast<std::size_t>(channel);
+    return i < tuning_by_channel_.size() ? tuning_by_channel_[i] : 0;
+  }
+
  private:
   RunningStats access_;
   RunningStats tuning_;
@@ -76,6 +87,11 @@ class ResultHandler {
   std::int64_t index_probes_ = 0;
   std::int64_t overflow_hops_ = 0;
   std::int64_t error_retries_ = 0;
+  std::int64_t channel_hops_ = 0;
+  std::int64_t switch_bytes_ = 0;
+  /// Tuning bytes by channel id; grown lazily to the highest channel a
+  /// walk touched (stays empty on a single channel until first Add).
+  std::vector<std::int64_t> tuning_by_channel_;
 };
 
 }  // namespace airindex

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "core/accuracy_controller.h"
@@ -35,6 +36,18 @@ MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
   metrics.Increment("client.index_probes", results.index_probes());
   metrics.Increment("client.overflow_hops", results.overflow_hops());
   metrics.Increment("client.error_retries", results.error_retries());
+  // The multichannel block is emitted only when a channel group is in
+  // play, so single-channel reports stay byte-identical with the
+  // pre-multichannel baselines.
+  if (const MultiChannelProgram* multi = server.multichannel();
+      multi != nullptr) {
+    metrics.Increment("client.channel_hops", results.channel_hops());
+    metrics.Increment("client.switch_bytes", results.switch_bytes());
+    for (int c = 0; c < multi->group().num_channels(); ++c) {
+      metrics.Increment("client.tuning_bytes_ch" + std::to_string(c),
+                        results.tuning_bytes_on_channel(c));
+    }
+  }
   return metrics;
 }
 
@@ -75,7 +88,42 @@ Status ValidateTestbedConfig(const TestbedConfig& config) {
   if (config.min_rounds < 1 || config.max_rounds < config.min_rounds) {
     return Status::InvalidArgument("bad round bounds");
   }
+  if (config.multichannel.num_channels < 1 ||
+      config.multichannel.num_channels > 64) {
+    return Status::InvalidArgument("num_channels must be in [1, 64]");
+  }
+  if (config.multichannel.switch_cost_bytes < 0) {
+    return Status::InvalidArgument("switch cost must be non-negative");
+  }
   return Status::Ok();
+}
+
+void FillChannelShape(const BroadcastServer& server,
+                      SimulationResult* result) {
+  if (const MultiChannelProgram* multi = server.multichannel();
+      multi != nullptr) {
+    const ChannelGroup& group = multi->group();
+    result->cycle_bytes = group.max_cycle_bytes();
+    result->num_buckets = static_cast<std::int64_t>(group.num_buckets());
+    result->num_index_buckets =
+        static_cast<std::int64_t>(group.num_index_buckets());
+    result->num_signature_buckets =
+        static_cast<std::int64_t>(group.num_signature_buckets());
+    result->num_data_buckets =
+        static_cast<std::int64_t>(group.num_data_buckets());
+    result->num_channels = group.num_channels();
+    return;
+  }
+  const Channel& channel = server.channel();
+  result->cycle_bytes = channel.cycle_bytes();
+  result->num_buckets = static_cast<std::int64_t>(channel.num_buckets());
+  result->num_index_buckets =
+      static_cast<std::int64_t>(channel.num_index_buckets());
+  result->num_signature_buckets =
+      static_cast<std::int64_t>(channel.num_signature_buckets());
+  result->num_data_buckets =
+      static_cast<std::int64_t>(channel.num_data_buckets());
+  result->num_channels = 1;
 }
 
 Result<std::shared_ptr<const Dataset>> BuildTestbedDataset(
@@ -103,8 +151,9 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   const std::shared_ptr<const Dataset> dataset =
       std::move(dataset_result).value();
 
-  Result<BroadcastServer> server_result = BroadcastServer::Create(
-      config.scheme, dataset, config.geometry, config.params);
+  Result<BroadcastServer> server_result =
+      BroadcastServer::Create(config.scheme, dataset, config.geometry,
+                              config.params, config.multichannel);
   if (!server_result.ok()) return server_result.status();
   const BroadcastServer server = std::move(server_result).value();
 
@@ -178,16 +227,7 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   result.anomalies = results.anomalies();
   result.outcome_mismatches = results.outcome_mismatches();
   result.metrics = SnapshotRunMetrics(simulation, server, results);
-
-  const Channel& channel = server.channel();
-  result.cycle_bytes = channel.cycle_bytes();
-  result.num_buckets = static_cast<std::int64_t>(channel.num_buckets());
-  result.num_index_buckets =
-      static_cast<std::int64_t>(channel.num_index_buckets());
-  result.num_signature_buckets =
-      static_cast<std::int64_t>(channel.num_signature_buckets());
-  result.num_data_buckets =
-      static_cast<std::int64_t>(channel.num_data_buckets());
+  FillChannelShape(server, &result);
   return result;
 }
 

@@ -49,12 +49,15 @@ struct SimulationResult {
   /// so values are independent of --jobs.
   MetricsRegistry metrics;
 
-  /// Channel shape, for reporting.
+  /// Channel shape, for reporting. On a multichannel run cycle_bytes is
+  /// the longest cycle of the group and the bucket counts are summed over
+  /// all channels.
   Bytes cycle_bytes = 0;
   std::int64_t num_buckets = 0;
   std::int64_t num_index_buckets = 0;
   std::int64_t num_signature_buckets = 0;
   std::int64_t num_data_buckets = 0;
+  int num_channels = 1;
 
   /// found / requests.
   double found_rate() const {
@@ -83,6 +86,11 @@ Status ValidateTestbedConfig(const TestbedConfig& config);
 /// this, so a given config always broadcasts identical data.
 Result<std::shared_ptr<const Dataset>> BuildTestbedDataset(
     const TestbedConfig& config);
+
+/// Fills `result`'s channel-shape block from the server's channel or
+/// channel group. Shared by RunTestbed and the replication engine so both
+/// report the same shape for the same config.
+void FillChannelShape(const BroadcastServer& server, SimulationResult* result);
 
 /// Outcome of one independent replication (one round of
 /// `requests_per_round` requests on a fresh simulation clock).

@@ -8,6 +8,7 @@
 #include "core/deadline.h"
 #include "core/error_model.h"
 #include "data/dataset.h"
+#include "schemes/multichannel.h"
 #include "schemes/scheme.h"
 
 namespace airindex {
@@ -25,6 +26,9 @@ struct TestbedConfig {
   BucketGeometry geometry;
   /// Scheme-specific knobs (optimal values by default).
   SchemeParams params;
+  /// Multichannel broadcast (extension; see schemes/multichannel.h).
+  /// The default single channel reproduces the paper's testbed exactly.
+  MultiChannelParams multichannel;
 
   /// Number of broadcast records (synthetic generator).
   int num_records = 7000;

@@ -1,6 +1,7 @@
 #ifndef AIRINDEX_SCHEMES_ACCESS_H_
 #define AIRINDEX_SCHEMES_ACCESS_H_
 
+#include <cstdint>
 #include <string_view>
 
 #include "common/types.h"
@@ -43,6 +44,23 @@ struct AccessResult {
   /// True when a deadline policy truncated the request (the client gave
   /// up; found is false regardless of whether the record was on air).
   bool abandoned = false;
+
+  // --- multichannel fields (all stay 0 on a single channel) -----------
+  // Narrow types on purpose: this struct is captured by value in the
+  // simulator's inline (non-allocating) event closures, whose capacity
+  // the des layer static_asserts.
+  /// Channel hops: times the client retuned to a different channel.
+  std::int16_t channel_hops = 0;
+  /// Channel the client first listened on / ended the walk on. Both 0 on
+  /// a single channel.
+  std::int16_t start_channel = 0;
+  std::int16_t final_channel = 0;
+  /// Broadcast bytes lost to channel switches (hops * switch cost).
+  /// Charged to access_time but never to tuning_time.
+  Bytes switch_bytes = 0;
+  /// Portion of tuning_time spent listening on final_channel; the rest
+  /// was spent on start_channel. Meaningful only when they differ.
+  Bytes final_channel_tuning = 0;
 };
 
 /// A fully built broadcast program: the channel for one cycle plus the

@@ -1,0 +1,365 @@
+#include "schemes/multichannel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "des/random.h"
+#include "schemes/entry_search.h"
+
+namespace airindex {
+
+namespace {
+
+/// Salt for the start-channel hash so it is uncorrelated with the
+/// simple-hashing scheme's use of Mix64 on tune-in-adjacent values.
+constexpr std::uint64_t kStartChannelSalt = 0x5eed0c4a17b0ca57ULL;
+
+/// Record range [begin, end) of partition p when Nr records are split
+/// into P balanced chunks.
+std::pair<int, int> PartitionRange(int num_records, int partitions, int p) {
+  const auto lo = static_cast<int>(static_cast<std::int64_t>(p) * num_records /
+                                   partitions);
+  const auto hi = static_cast<int>(
+      (static_cast<std::int64_t>(p) + 1) * num_records / partitions);
+  return {lo, hi};
+}
+
+}  // namespace
+
+const char* ChannelAllocationToString(ChannelAllocation allocation) {
+  switch (allocation) {
+    case ChannelAllocation::kIndexOnOne:
+      return "index-on-one";
+    case ChannelAllocation::kDataPartitioned:
+      return "data-partitioned";
+    case ChannelAllocation::kReplicatedIndex:
+      return "replicated-index";
+  }
+  return "unknown";
+}
+
+bool ParseChannelAllocation(std::string_view text, ChannelAllocation* out) {
+  for (const ChannelAllocation allocation :
+       {ChannelAllocation::kIndexOnOne, ChannelAllocation::kDataPartitioned,
+        ChannelAllocation::kReplicatedIndex}) {
+    if (text == ChannelAllocationToString(allocation)) {
+      *out = allocation;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::unique_ptr<MultiChannelProgram>> MultiChannelProgram::Build(
+    SchemeKind kind, std::shared_ptr<const Dataset> dataset,
+    const BucketGeometry& geometry, const SchemeParams& params,
+    const MultiChannelParams& multichannel) {
+  const int num_channels = multichannel.num_channels;
+  if (num_channels < 2) {
+    return Status::InvalidArgument(
+        "multichannel program needs >= 2 channels (a single channel runs "
+        "the base scheme directly)");
+  }
+  if (num_channels > 64) {
+    return Status::InvalidArgument("more than 64 channels is unsupported");
+  }
+  if (multichannel.switch_cost_bytes < 0) {
+    return Status::InvalidArgument("channel switch cost must be >= 0");
+  }
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("multichannel program needs a dataset");
+  }
+  const int num_records = dataset->size();
+  const int partitions =
+      multichannel.allocation == ChannelAllocation::kIndexOnOne
+          ? num_channels - 1
+          : num_channels;
+  if (num_records < partitions) {
+    return Status::InvalidArgument(
+        "fewer records than data partitions; reduce --channels");
+  }
+
+  auto program = std::unique_ptr<MultiChannelProgram>(new MultiChannelProgram);
+  program->allocation_ = multichannel.allocation;
+  program->first_data_channel_ =
+      multichannel.allocation == ChannelAllocation::kIndexOnOne ? 1 : 0;
+  program->partition_first_keys_.reserve(static_cast<std::size_t>(partitions));
+  for (int p = 0; p < partitions; ++p) {
+    const auto [lo, hi] = PartitionRange(num_records, partitions, p);
+    (void)hi;
+    program->partition_first_keys_.push_back(dataset->record(lo).key);
+  }
+
+  const Bytes bucket_bytes = geometry.data_bucket_bytes();
+  std::vector<Channel> channels;
+  channels.reserve(static_cast<std::size_t>(num_channels));
+
+  if (multichannel.allocation == ChannelAllocation::kDataPartitioned) {
+    program->name_ = std::string("multichannel data-partitioned over ") +
+                     SchemeKindToString(kind);
+    for (int p = 0; p < partitions; ++p) {
+      const auto [lo, hi] = PartitionRange(num_records, partitions, p);
+      std::vector<Record> chunk(dataset->records().begin() + lo,
+                                dataset->records().begin() + hi);
+      Result<Dataset> sub = Dataset::FromRecords(std::move(chunk));
+      if (!sub.ok()) return sub.status();
+      auto sub_dataset = std::make_shared<const Dataset>(std::move(sub).value());
+      Result<std::unique_ptr<BroadcastScheme>> scheme =
+          BuildScheme(kind, std::move(sub_dataset), geometry, params);
+      if (!scheme.ok()) return scheme.status();
+      channels.push_back(scheme.value()->channel());
+      program->partitions_.push_back(std::move(scheme).value());
+    }
+  } else {
+    // Both index-centric allocations lay out the global B+-tree air
+    // index themselves; the base kind only names the program.
+    program->name_ =
+        std::string("multichannel ") +
+        ChannelAllocationToString(multichannel.allocation) + " over " +
+        SchemeKindToString(kind);
+    program->dataset_ = dataset;
+    Result<BTree> tree_result =
+        BTree::Build(num_records, geometry.index_fanout());
+    if (!tree_result.ok()) return tree_result.status();
+    program->tree_ = std::move(tree_result).value();
+    const BTree& tree = *program->tree_;
+    const std::vector<int> preorder = tree.PreorderSubtree(tree.root());
+    const Bytes index_bytes =
+        static_cast<Bytes>(preorder.size()) * bucket_bytes;
+
+    // Phase of every index node within the (identical) index layout, and
+    // the home channel + phase of every record's data bucket.
+    std::vector<Bytes> node_phase(tree.nodes().size(), kInvalidPhase);
+    for (std::size_t i = 0; i < preorder.size(); ++i) {
+      node_phase[static_cast<std::size_t>(preorder[i])] =
+          static_cast<Bytes>(i) * bucket_bytes;
+    }
+    std::vector<int> record_channel(static_cast<std::size_t>(num_records), 0);
+    std::vector<Bytes> record_phase(static_cast<std::size_t>(num_records), 0);
+    const Bytes data_base =
+        multichannel.allocation == ChannelAllocation::kIndexOnOne
+            ? 0
+            : index_bytes;
+    for (int p = 0; p < partitions; ++p) {
+      const auto [lo, hi] = PartitionRange(num_records, partitions, p);
+      for (int r = lo; r < hi; ++r) {
+        record_channel[static_cast<std::size_t>(r)] =
+            program->first_data_channel_ + p;
+        record_phase[static_cast<std::size_t>(r)] =
+            data_base + static_cast<Bytes>(r - lo) * bucket_bytes;
+      }
+    }
+
+    // The index bucket sequence is identical on every channel that
+    // carries it (leaf pointers are absolute channel+phase pairs).
+    std::vector<Bucket> index_buckets;
+    index_buckets.reserve(preorder.size());
+    for (const int node_id : preorder) {
+      const BTreeNode& node = tree.node(node_id);
+      Bucket bucket;
+      bucket.kind = BucketKind::kIndex;
+      bucket.size = bucket_bytes;
+      bucket.next_index_segment_phase = 0;
+      bucket.level = node.level;
+      bucket.range_lo = dataset->record(node.first_record).key;
+      bucket.range_hi = dataset->record(node.last_record).key;
+      bucket.local.reserve(node.children.size());
+      for (const int child : node.children) {
+        PointerEntry entry;
+        if (node.level == 0) {
+          entry.key_lo = dataset->record(child).key;
+          entry.key_hi = entry.key_lo;
+          entry.target_phase = record_phase[static_cast<std::size_t>(child)];
+          entry.target_channel = record_channel[static_cast<std::size_t>(child)];
+        } else {
+          const BTreeNode& child_node = tree.node(child);
+          entry.key_lo = dataset->record(child_node.first_record).key;
+          entry.key_hi = dataset->record(child_node.last_record).key;
+          entry.target_phase = node_phase[static_cast<std::size_t>(child)];
+        }
+        bucket.local.push_back(entry);
+      }
+      index_buckets.push_back(std::move(bucket));
+    }
+
+    const auto make_data_bucket = [&](int record_id) {
+      Bucket bucket;
+      bucket.kind = BucketKind::kData;
+      bucket.size = bucket_bytes;
+      bucket.record_id = record_id;
+      bucket.next_index_segment_phase =
+          multichannel.allocation == ChannelAllocation::kReplicatedIndex
+              ? 0
+              : kInvalidPhase;
+      return bucket;
+    };
+
+    if (multichannel.allocation == ChannelAllocation::kIndexOnOne) {
+      Result<Channel> index_channel = Channel::Create(index_buckets);
+      if (!index_channel.ok()) return index_channel.status();
+      channels.push_back(std::move(index_channel).value());
+      for (int p = 0; p < partitions; ++p) {
+        const auto [lo, hi] = PartitionRange(num_records, partitions, p);
+        std::vector<Bucket> buckets;
+        buckets.reserve(static_cast<std::size_t>(hi - lo));
+        for (int r = lo; r < hi; ++r) buckets.push_back(make_data_bucket(r));
+        Result<Channel> ch = Channel::Create(std::move(buckets));
+        if (!ch.ok()) return ch.status();
+        channels.push_back(std::move(ch).value());
+      }
+    } else {  // kReplicatedIndex
+      for (int p = 0; p < partitions; ++p) {
+        const auto [lo, hi] = PartitionRange(num_records, partitions, p);
+        std::vector<Bucket> buckets = index_buckets;
+        buckets.reserve(buckets.size() + static_cast<std::size_t>(hi - lo));
+        for (int r = lo; r < hi; ++r) buckets.push_back(make_data_bucket(r));
+        Result<Channel> ch = Channel::Create(std::move(buckets));
+        if (!ch.ok()) return ch.status();
+        channels.push_back(std::move(ch).value());
+      }
+    }
+  }
+
+  Result<ChannelGroup> group =
+      ChannelGroup::Create(std::move(channels), multichannel.switch_cost_bytes);
+  if (!group.ok()) return group.status();
+  program->group_ = std::move(group).value();
+  return program;
+}
+
+int MultiChannelProgram::HomeChannel(std::string_view key) const {
+  const auto it = std::upper_bound(
+      partition_first_keys_.begin(), partition_first_keys_.end(), key,
+      [](std::string_view k, const std::string& first) { return k < first; });
+  const auto p =
+      std::max<std::ptrdiff_t>(0, it - partition_first_keys_.begin() - 1);
+  return first_data_channel_ + static_cast<int>(p);
+}
+
+int MultiChannelProgram::StartChannel(Bytes tune_in) const {
+  if (allocation_ == ChannelAllocation::kIndexOnOne) return 0;
+  const std::uint64_t h =
+      Mix64(static_cast<std::uint64_t>(tune_in) ^ kStartChannelSalt);
+  return static_cast<int>(h % static_cast<std::uint64_t>(group().num_channels()));
+}
+
+AccessResult MultiChannelProgram::Access(std::string_view key,
+                                         Bytes tune_in) const {
+  return allocation_ == ChannelAllocation::kDataPartitioned
+             ? AccessPartitioned(key, tune_in)
+             : AccessIndexed(key, tune_in);
+}
+
+AccessResult MultiChannelProgram::AccessPartitioned(std::string_view key,
+                                                    Bytes tune_in) const {
+  const ChannelGroup& group = this->group();
+  AccessResult result;
+  const int s = StartChannel(tune_in);
+  result.start_channel = static_cast<std::int16_t>(s);
+  result.final_channel = result.start_channel;
+  const Channel& start = group.channel(s);
+
+  // Initial wait plus one directory read: every bucket carries the
+  // key-range -> channel table (a P-entry map, negligible next to Dt), so
+  // one full bucket tells the client its key's home channel.
+  Bytes t = start.NextBoundaryTime(tune_in);
+  result.tuning_time = t - tune_in;
+  const Bucket& directory =
+      start.bucket(start.BucketAtPhase(t % start.cycle_bytes()));
+  t += directory.size;
+  result.tuning_time += directory.size;
+  ++result.probes;
+  if (directory.kind != BucketKind::kData) ++result.index_probes;
+
+  const int home = HomeChannel(key);
+  if (home != s) {
+    result.channel_hops = 1;
+    result.switch_bytes = group.switch_cost_bytes();
+    t += group.switch_cost_bytes();
+    result.final_channel = static_cast<std::int16_t>(home);
+  }
+
+  const AccessResult sub = partitions_[static_cast<std::size_t>(home)]->Access(
+      key, t);
+  result.found = sub.found;
+  result.access_time = (t - tune_in) + sub.access_time;
+  result.tuning_time += sub.tuning_time;
+  result.probes += sub.probes;
+  result.false_drops += sub.false_drops;
+  result.index_probes += sub.index_probes;
+  result.overflow_hops += sub.overflow_hops;
+  result.anomalies += sub.anomalies;
+  if (home != s) result.final_channel_tuning = sub.tuning_time;
+  return result;
+}
+
+AccessResult MultiChannelProgram::AccessIndexed(std::string_view key,
+                                                Bytes tune_in) const {
+  const ChannelGroup& group = this->group();
+  AccessResult result;
+  const int s = StartChannel(tune_in);
+  result.start_channel = static_cast<std::int16_t>(s);
+  result.final_channel = result.start_channel;
+  const Channel& index_channel = group.channel(s);
+
+  // Initial wait; read the first complete bucket to find the index
+  // segment (every bucket of an index-carrying channel points at it).
+  Bytes t = index_channel.NextBoundaryTime(tune_in);
+  result.tuning_time = t - tune_in;
+  {
+    const Bucket& first = index_channel.bucket(
+        index_channel.BucketAtPhase(t % index_channel.cycle_bytes()));
+    t += first.size;
+    result.tuning_time += first.size;
+    ++result.probes;
+    if (first.kind == BucketKind::kIndex) ++result.index_probes;
+    t = index_channel.NextArrivalOfPhase(first.next_index_segment_phase, t);
+  }
+
+  // Descend the global tree on the index channel; the leaf pointer names
+  // the data bucket's (channel, phase).
+  const int max_probes = 4 * tree_->height() + 8;
+  while (result.probes < max_probes) {
+    const Bucket& bucket = index_channel.bucket(
+        index_channel.BucketAtPhase(t % index_channel.cycle_bytes()));
+    t += bucket.size;
+    result.tuning_time += bucket.size;
+    ++result.probes;
+    if (bucket.kind != BucketKind::kIndex) {
+      ++result.anomalies;
+      break;
+    }
+    ++result.index_probes;
+    if (key < bucket.range_lo || key > bucket.range_hi) break;  // not on air
+    const PointerEntry* entry = FindCoveringEntry(bucket.local, key);
+    if (entry == nullptr) break;  // key falls in a gap: not on air
+    if (bucket.level > 0) {
+      t = index_channel.NextArrivalOfPhase(entry->target_phase, t);
+      continue;
+    }
+    // Leaf hit: hop to the data channel (if different) and download.
+    const int target =
+        entry->target_channel == kSameChannel ? s : entry->target_channel;
+    if (target != s) {
+      result.channel_hops = 1;
+      result.switch_bytes = group.switch_cost_bytes();
+      t += group.switch_cost_bytes();
+      result.final_channel = static_cast<std::int16_t>(target);
+    }
+    const Channel& data_channel = group.channel(target);
+    t = data_channel.NextArrivalOfPhase(entry->target_phase, t);
+    const Bucket& data = data_channel.bucket(
+        data_channel.BucketAtPhase(t % data_channel.cycle_bytes()));
+    t += data.size;
+    result.tuning_time += data.size;
+    ++result.probes;
+    if (target != s) result.final_channel_tuning = data.size;
+    result.found = true;
+    break;
+  }
+  if (result.probes >= max_probes && !result.found) ++result.anomalies;
+  result.access_time = t - tune_in;
+  return result;
+}
+
+}  // namespace airindex

@@ -1,0 +1,137 @@
+// Layer: 4 (schemes) — see docs/ARCHITECTURE.md for the layer map.
+#ifndef AIRINDEX_SCHEMES_MULTICHANNEL_H_
+#define AIRINDEX_SCHEMES_MULTICHANNEL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "broadcast/channel_group.h"
+#include "broadcast/geometry.h"
+#include "data/dataset.h"
+#include "schemes/access.h"
+#include "schemes/btree.h"
+#include "schemes/scheme.h"
+
+namespace airindex {
+
+/// How index and data are spread over the channels of a group (the
+/// allocation axis of the multichannel broadcast papers).
+enum class ChannelAllocation {
+  /// Channel 0 carries only the global B+-tree index; channels 1..N-1
+  /// carry flat, key-partitioned data. Every leaf pointer crosses to a
+  /// data channel, so every hit pays exactly one switch.
+  kIndexOnOne,
+  /// Each channel carries an independent single-channel broadcast of the
+  /// base scheme over one key partition. Any registered scheme plugs in
+  /// unchanged; a request pays at most one switch to reach the key's
+  /// home channel.
+  kDataPartitioned,
+  /// Every channel carries a full copy of the global B+-tree index
+  /// followed by its own key partition of the data. Index descent is
+  /// switch-free; only the final data jump may hop.
+  kReplicatedIndex,
+};
+
+/// Short display name ("index-on-one", ...).
+const char* ChannelAllocationToString(ChannelAllocation allocation);
+
+/// Parses a display name back to the enum; false if unknown.
+bool ParseChannelAllocation(std::string_view text, ChannelAllocation* out);
+
+/// Multichannel knobs. The defaults describe the classic single-channel
+/// testbed; BroadcastServer only engages the multichannel engine when
+/// num_channels > 1, so a default-constructed value is always safe.
+struct MultiChannelParams {
+  int num_channels = 1;
+  /// Broadcast bytes a client loses per channel hop.
+  Bytes switch_cost_bytes = 0;
+  ChannelAllocation allocation = ChannelAllocation::kDataPartitioned;
+};
+
+/// A broadcast program spread over a ChannelGroup.
+///
+/// Implements the BroadcastScheme interface so the simulator, the error
+/// model, and the deadline policy all work unchanged; Access() remains a
+/// pure function of (key, tune-in time). Which channel the client starts
+/// on is itself a pure hash of the tune-in time (a client wakes up on an
+/// arbitrary channel), so replications stay bit-identical for any --jobs.
+///
+/// For kDataPartitioned the base scheme kind is built per partition via
+/// BuildScheme — all registered schemes plug in. The two index-centric
+/// allocations lay out the global B+-tree air index themselves (the base
+/// kind only selects the partition count semantics), as in the
+/// multichannel XML-stream engine of Khatibi & Khatibi.
+class MultiChannelProgram : public BroadcastScheme {
+ public:
+  /// Builds the group. Fails when num_channels < 2 (a single channel
+  /// must bypass the wrapper so single-channel runs stay byte-identical),
+  /// when the dataset has fewer records than data partitions, or when a
+  /// per-partition base scheme cannot be built.
+  static Result<std::unique_ptr<MultiChannelProgram>> Build(
+      SchemeKind kind, std::shared_ptr<const Dataset> dataset,
+      const BucketGeometry& geometry, const SchemeParams& params,
+      const MultiChannelParams& multichannel);
+
+  // BroadcastScheme interface. channel() exposes channel 0 of the group
+  // (the index channel for kIndexOnOne) for structure-agnostic callers.
+  const Channel& channel() const override { return group().channel(0); }
+  AccessResult Access(std::string_view key, Bytes tune_in) const override;
+  const char* name() const override { return name_.c_str(); }
+
+  /// The channel group.
+  const ChannelGroup& group() const { return *group_; }
+
+  /// The allocation strategy in effect.
+  ChannelAllocation allocation() const { return allocation_; }
+
+  /// Number of key partitions the data is split into.
+  int num_partitions() const {
+    return static_cast<int>(partition_first_keys_.size());
+  }
+
+  /// Id of the channel whose data partition covers `key`.
+  int HomeChannel(std::string_view key) const;
+
+  /// Channel a client tuning in at `tune_in` starts listening on: a pure
+  /// hash of the tune-in time, except kIndexOnOne where every walk must
+  /// start on the index channel 0.
+  int StartChannel(Bytes tune_in) const;
+
+ private:
+  MultiChannelProgram() = default;
+
+  AccessResult AccessPartitioned(std::string_view key, Bytes tune_in) const;
+  AccessResult AccessIndexed(std::string_view key, Bytes tune_in) const;
+
+  // Always engaged by Build before the object escapes; optional only
+  // because ChannelGroup has no default state.
+  std::optional<ChannelGroup> group_;
+
+  ChannelAllocation allocation_ = ChannelAllocation::kDataPartitioned;
+  std::string name_;
+  /// First key of each data partition, in partition order (HomeChannel
+  /// does an upper_bound over these).
+  std::vector<std::string> partition_first_keys_;
+  /// Channel id of partition 0 (0 for partitioned/replicated, 1 for
+  /// index-on-one where channel 0 is the index).
+  int first_data_channel_ = 0;
+
+  // kDataPartitioned: one base-scheme program per partition, in channel
+  // order. Each sub-scheme keeps its own sub-dataset alive.
+  std::vector<std::unique_ptr<BroadcastScheme>> partitions_;
+
+  // kIndexOnOne / kReplicatedIndex: the global tree + parent dataset
+  // (pointer entries view its key storage). Optional because BTree, like
+  // ChannelGroup, has no default state.
+  std::shared_ptr<const Dataset> dataset_;
+  std::optional<BTree> tree_;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_SCHEMES_MULTICHANNEL_H_

@@ -170,6 +170,58 @@ TEST(BenchCompareTest, StrictCountersSurfaceSchedulerTelemetry) {
   EXPECT_TRUE(CompareBenchReports(base, cand, CompareOptions{}).passed());
 }
 
+TEST(BenchCompareTest, StrictCountersValidateChannelAccounting) {
+  CompareOptions strict;
+  strict.strict_counters = true;
+
+  // A consistent multichannel report passes and the hop/switch counters
+  // are surfaced as a note.
+  BenchReport base = BaseReport();
+  base.counters.Increment("client.channel_hops", 30);
+  base.counters.Increment("client.switch_bytes", 3000);
+  base.counters.Increment("client.tuning_bytes_ch0", 1200);
+  base.counters.Increment("client.tuning_bytes_ch1", 800);
+  const CompareResult ok = CompareBenchReports(base, base, strict);
+  EXPECT_TRUE(ok.passed());
+  bool noted = false;
+  for (const std::string& note : ok.notes) {
+    if (note.find("channel accounting") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+  // Single-channel reports carry no channel counters and get no note.
+  const CompareResult single =
+      CompareBenchReports(BaseReport(), BaseReport(), strict);
+  EXPECT_TRUE(single.passed());
+  for (const std::string& note : single.notes) {
+    EXPECT_EQ(note.find("channel accounting"), std::string::npos);
+  }
+
+  // Dead air without hops is a corrupt report, even when baseline and
+  // candidate match exactly.
+  BenchReport no_hops = BaseReport();
+  no_hops.counters.Increment("client.channel_hops", 0);
+  no_hops.counters.Increment("client.switch_bytes", 500);
+  EXPECT_FALSE(CompareBenchReports(no_hops, no_hops, strict).passed());
+  // ...but only under --strict-counters.
+  EXPECT_TRUE(
+      CompareBenchReports(no_hops, no_hops, CompareOptions{}).passed());
+
+  // Negative hop, switch-byte or per-channel tuning counters fail.
+  BenchReport negative_hops = BaseReport();
+  negative_hops.counters.Increment("client.channel_hops", -2);
+  EXPECT_FALSE(
+      CompareBenchReports(negative_hops, negative_hops, strict).passed());
+  BenchReport negative_switch = BaseReport();
+  negative_switch.counters.Increment("client.channel_hops", 4);
+  negative_switch.counters.Increment("client.switch_bytes", -100);
+  EXPECT_FALSE(
+      CompareBenchReports(negative_switch, negative_switch, strict).passed());
+  BenchReport negative_tuning = base;
+  negative_tuning.counters.Increment("client.tuning_bytes_ch1", -900);
+  EXPECT_FALSE(
+      CompareBenchReports(base, negative_tuning, strict).passed());
+}
+
 TEST(BenchCompareTest, StrictCountersDetectDrift) {
   const BenchReport base = BaseReport();
   BenchReport cand = BaseReport();

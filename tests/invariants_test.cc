@@ -1,0 +1,252 @@
+// Randomized invariant harness: every registered scheme crossed with
+// randomized dataset / geometry / multichannel configurations. Each case
+// draws its parameters from a per-case RNG stream seeded by
+// ReplicationSeed(kHarnessSeed, case_id), so a failure log shows the
+// exact (harness seed, case id) pair needed to replay it.
+//
+// Invariants checked on every protocol walk:
+//  I1. tuning_time <= access_time, both non-negative;
+//  I2. found iff the key is in the dataset (lossless, deadline-free);
+//  I3. no anomalies, no retries, no abandonment;
+//  I4. all counters non-negative;
+//  I5. channel accounting: at most one hop per walk,
+//      switch_bytes == channel_hops * switch cost, channel ids in range,
+//      and a hop-free walk has identical start/final channels and no
+//      final-channel tuning (a single channel has no accounting at all).
+//
+// And on the simulation level:
+//  I6. ParallelExperiment results are bit-identical for jobs 1, 4 and 8 —
+//      means, outcome counters and the full metrics registry.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "data/dataset.h"
+#include "des/random.h"
+#include "schemes/multichannel.h"
+#include "schemes/scheme.h"
+
+namespace airindex {
+namespace {
+
+constexpr std::uint64_t kHarnessSeed = 0x1a11ce5eedull;
+constexpr int kNumWalkCases = 220;
+
+constexpr SchemeKind kAllSchemes[] = {
+    SchemeKind::kFlat,
+    SchemeKind::kOneM,
+    SchemeKind::kDistributed,
+    SchemeKind::kHashing,
+    SchemeKind::kSignature,
+    SchemeKind::kIntegratedSignature,
+    SchemeKind::kMultiLevelSignature,
+    SchemeKind::kBroadcastDisks,
+    SchemeKind::kHybrid,
+};
+
+struct RandomCase {
+  SchemeKind scheme = SchemeKind::kFlat;
+  int num_records = 0;
+  BucketGeometry geometry;
+  MultiChannelParams multichannel;
+};
+
+RandomCase DrawCase(Rng* rng) {
+  RandomCase c;
+  c.scheme = kAllSchemes[rng->NextBounded(std::size(kAllSchemes))];
+  // >= 12 records keeps every partition of a 4-channel split big enough
+  // for broadcast disks (one record per disk).
+  c.num_records = 12 + static_cast<int>(rng->NextBounded(289));
+  c.geometry.key_bytes = 8 + static_cast<Bytes>(rng->NextBounded(18));
+  c.geometry.record_bytes =
+      2 * c.geometry.key_bytes + static_cast<Bytes>(rng->NextBounded(451));
+  // Single-channel cases stay in the mix: the invariants must hold on
+  // the paper's original testbed too.
+  constexpr int kChannelChoices[] = {1, 1, 2, 3, 4};
+  c.multichannel.num_channels =
+      kChannelChoices[rng->NextBounded(std::size(kChannelChoices))];
+  constexpr ChannelAllocation kAllocations[] = {
+      ChannelAllocation::kIndexOnOne,
+      ChannelAllocation::kDataPartitioned,
+      ChannelAllocation::kReplicatedIndex,
+  };
+  c.multichannel.allocation =
+      kAllocations[rng->NextBounded(std::size(kAllocations))];
+  constexpr Bytes kSwitchCosts[] = {0, 50, 250};
+  c.multichannel.switch_cost_bytes =
+      kSwitchCosts[rng->NextBounded(std::size(kSwitchCosts))];
+  return c;
+}
+
+std::shared_ptr<const Dataset> MakeDataset(const RandomCase& c) {
+  DatasetConfig config;
+  config.num_records = c.num_records;
+  config.key_width = static_cast<int>(c.geometry.key_bytes);
+  return std::make_shared<const Dataset>(Dataset::Generate(config).value());
+}
+
+void CheckWalkInvariants(const AccessResult& result, bool present,
+                         const RandomCase& c) {
+  // I1 / I4.
+  EXPECT_GE(result.access_time, 0);
+  EXPECT_GE(result.tuning_time, 0);
+  EXPECT_LE(result.tuning_time, result.access_time);
+  EXPECT_GE(result.probes, 0);
+  EXPECT_GE(result.false_drops, 0);
+  EXPECT_GE(result.index_probes, 0);
+  EXPECT_GE(result.overflow_hops, 0);
+  EXPECT_LE(result.index_probes, result.probes);
+  // I2 / I3: lossless channel, patient client.
+  EXPECT_EQ(result.found, present);
+  EXPECT_EQ(result.anomalies, 0);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_FALSE(result.abandoned);
+  if (result.found) {
+    EXPECT_GT(result.tuning_time, 0);
+  }
+  // I5: channel accounting.
+  const int channels = c.multichannel.num_channels;
+  EXPECT_GE(result.channel_hops, 0);
+  EXPECT_LE(result.channel_hops, 1);
+  EXPECT_GE(result.start_channel, 0);
+  EXPECT_LT(result.start_channel, channels);
+  EXPECT_GE(result.final_channel, 0);
+  EXPECT_LT(result.final_channel, channels);
+  EXPECT_EQ(result.switch_bytes,
+            static_cast<Bytes>(result.channel_hops) *
+                c.multichannel.switch_cost_bytes);
+  EXPECT_GE(result.final_channel_tuning, 0);
+  EXPECT_LE(result.final_channel_tuning, result.tuning_time);
+  if (result.channel_hops == 0) {
+    EXPECT_EQ(result.start_channel, result.final_channel);
+    EXPECT_EQ(result.final_channel_tuning, 0);
+  } else {
+    EXPECT_NE(result.start_channel, result.final_channel);
+  }
+  if (channels == 1) {
+    EXPECT_EQ(result.channel_hops, 0);
+    EXPECT_EQ(result.switch_bytes, 0);
+  }
+}
+
+TEST(InvariantsTest, RandomizedWalks) {
+  for (std::uint64_t case_id = 0; case_id < kNumWalkCases; ++case_id) {
+    Rng rng(ReplicationSeed(kHarnessSeed, case_id));
+    const RandomCase c = DrawCase(&rng);
+    SCOPED_TRACE("harness seed " + std::to_string(kHarnessSeed) + " case " +
+                 std::to_string(case_id) + ": " +
+                 std::string(SchemeKindToString(c.scheme)) + ", n=" +
+                 std::to_string(c.num_records) + ", channels=" +
+                 std::to_string(c.multichannel.num_channels) + ", alloc=" +
+                 ChannelAllocationToString(c.multichannel.allocation) +
+                 ", switch=" +
+                 std::to_string(c.multichannel.switch_cost_bytes));
+
+    const auto dataset = MakeDataset(c);
+    std::unique_ptr<BroadcastScheme> program;
+    Bytes horizon = 0;
+    if (c.multichannel.num_channels > 1) {
+      auto built = MultiChannelProgram::Build(c.scheme, dataset, c.geometry,
+                                              SchemeParams{}, c.multichannel);
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      horizon = 2 * built.value()->group().max_cycle_bytes();
+      program = std::move(built).value();
+    } else {
+      auto built = BuildScheme(c.scheme, dataset, c.geometry);
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      program = std::move(built).value();
+      horizon = 2 * program->channel().cycle_bytes();
+    }
+
+    // Present keys at random tune-in times.
+    const int present_probes = std::min(c.num_records, 24);
+    for (int i = 0; i < present_probes; ++i) {
+      const int index = static_cast<int>(
+          rng.NextBounded(static_cast<std::uint64_t>(c.num_records)));
+      const Bytes tune_in = static_cast<Bytes>(
+          rng.NextBounded(static_cast<std::uint64_t>(horizon)));
+      const AccessResult result =
+          program->Access(dataset->record(index).key, tune_in);
+      SCOPED_TRACE("present record " + std::to_string(index) + " tune_in " +
+                   std::to_string(tune_in));
+      CheckWalkInvariants(result, /*present=*/true, c);
+    }
+    // Absent keys interleaved with the data.
+    for (int i = 0; i < 8; ++i) {
+      const int slot = static_cast<int>(
+          rng.NextBounded(static_cast<std::uint64_t>(c.num_records + 1)));
+      const Bytes tune_in = static_cast<Bytes>(
+          rng.NextBounded(static_cast<std::uint64_t>(horizon)));
+      const AccessResult result =
+          program->Access(dataset->absent_key(slot), tune_in);
+      SCOPED_TRACE("absent slot " + std::to_string(slot) + " tune_in " +
+                   std::to_string(tune_in));
+      CheckWalkInvariants(result, /*present=*/false, c);
+    }
+  }
+}
+
+// I6: the replication engine's promise, exercised over randomized
+// configs that also turn on the orthogonal extensions (availability,
+// skew, channel errors, deadlines) to stress the merge path.
+TEST(InvariantsTest, JobsBitIdentity) {
+  constexpr std::uint64_t kJobsSeedBase = 1u << 20;
+  constexpr int kNumConfigs = 8;
+  for (std::uint64_t i = 0; i < kNumConfigs; ++i) {
+    Rng rng(ReplicationSeed(kHarnessSeed, kJobsSeedBase + i));
+    const RandomCase c = DrawCase(&rng);
+    SCOPED_TRACE("harness seed " + std::to_string(kHarnessSeed) +
+                 " jobs-config " + std::to_string(i));
+
+    TestbedConfig config;
+    config.scheme = c.scheme;
+    config.geometry = c.geometry;
+    config.multichannel = c.multichannel;
+    config.num_records = c.num_records;
+    config.data_availability = (rng.NextBounded(2) == 0) ? 1.0 : 0.6;
+    config.zipf_theta = (rng.NextBounded(2) == 0) ? 0.0 : 0.8;
+    config.error_model.bucket_error_rate =
+        (rng.NextBounded(2) == 0) ? 0.0 : 0.02;
+    config.deadline.access_deadline_bytes =
+        (rng.NextBounded(2) == 0) ? 0 : 250000;
+    config.requests_per_round = 50;
+    config.min_rounds = 3;
+    config.max_rounds = 5;
+    config.seed = ReplicationSeed(kHarnessSeed, 7000 + i);
+
+    std::vector<SimulationResult> results;
+    for (const int jobs : {1, 4, 8}) {
+      ParallelExperiment experiment({.jobs = jobs});
+      auto run = experiment.Run(config);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      results.push_back(std::move(run).value());
+    }
+    const SimulationResult& reference = results.front();
+    for (std::size_t j = 1; j < results.size(); ++j) {
+      const SimulationResult& other = results[j];
+      SCOPED_TRACE("jobs variant " + std::to_string(j));
+      EXPECT_EQ(reference.requests, other.requests);
+      EXPECT_EQ(reference.rounds, other.rounds);
+      EXPECT_EQ(reference.converged, other.converged);
+      EXPECT_EQ(reference.found, other.found);
+      EXPECT_EQ(reference.abandoned, other.abandoned);
+      EXPECT_EQ(reference.false_drops, other.false_drops);
+      EXPECT_EQ(reference.anomalies, other.anomalies);
+      EXPECT_EQ(reference.outcome_mismatches, other.outcome_mismatches);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(reference.access.mean(), other.access.mean());
+      EXPECT_EQ(reference.tuning.mean(), other.tuning.mean());
+      EXPECT_EQ(reference.probes.mean(), other.probes.mean());
+      EXPECT_TRUE(reference.metrics == other.metrics);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace airindex

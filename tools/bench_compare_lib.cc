@@ -162,6 +162,55 @@ CompareResult CompareBenchReports(const BenchReport& baseline,
       }
     }
 
+    // Channel accounting of multichannel runs. The hop and dead-air
+    // counters are redundant by construction — switch bytes exist only
+    // when hops happened and no counter can go negative — so an
+    // inconsistent pair in either report is a corrupt report, not drift.
+    for (const BenchReport* report : {&baseline, &candidate}) {
+      const char* side = report == &baseline ? "baseline" : "candidate";
+      const std::int64_t hops = report->counters.Get("client.channel_hops");
+      const std::int64_t switch_bytes =
+          report->counters.Get("client.switch_bytes");
+      if (hops < 0) {
+        result.failures.push_back(std::string(side) +
+                                  " counter 'client.channel_hops' is "
+                                  "negative: " +
+                                  std::to_string(hops));
+      }
+      if (switch_bytes < 0) {
+        result.failures.push_back(std::string(side) +
+                                  " counter 'client.switch_bytes' is "
+                                  "negative: " +
+                                  std::to_string(switch_bytes));
+      }
+      if (hops == 0 && switch_bytes != 0) {
+        result.failures.push_back(
+            std::string(side) +
+            " channel accounting is inconsistent: client.switch_bytes " +
+            std::to_string(switch_bytes) + " with zero client.channel_hops");
+      }
+      for (const MetricsRegistry::Entry& entry : report->counters.entries()) {
+        if (entry.name.rfind("client.tuning_bytes_ch", 0) == 0 &&
+            entry.value < 0) {
+          result.failures.push_back(std::string(side) + " counter '" +
+                                    entry.name + "' is negative: " +
+                                    std::to_string(entry.value));
+        }
+      }
+    }
+    if (baseline.counters.Has("client.channel_hops") ||
+        candidate.counters.Has("client.channel_hops")) {
+      result.notes.push_back(
+          "channel accounting: hops " +
+          std::to_string(baseline.counters.Get("client.channel_hops")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("client.channel_hops")) +
+          ", switch bytes " +
+          std::to_string(baseline.counters.Get("client.switch_bytes")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("client.switch_bytes")));
+    }
+
     // Scheduler telemetry from the timing block. Speculative discards,
     // reorder-buffer depth and pool idle time vary with machine load and
     // jobs, so they are surfaced as notes, not gated — but the candidate

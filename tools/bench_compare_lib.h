@@ -26,6 +26,10 @@ struct CompareOptions {
   /// the streaming scheduler's timing counters (speculative replications
   /// discarded, reorder-buffer peak, pool idle seconds) as notes and
   /// checks the candidate's discard accounting is internally consistent.
+  /// Multichannel runs get the same treatment: the channel-hop and
+  /// switch-byte counters of both reports must be internally consistent
+  /// (non-negative, no dead air without hops, no negative per-channel
+  /// tuning split), and their drift is surfaced as a note.
   bool strict_counters = false;
 };
 

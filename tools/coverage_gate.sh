@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the scheme and broadcast layers, run by the CI
+# coverage job after a ctest pass of an AIRINDEX_COVERAGE=ON build.
+#
+# Walks the .gcda files gcov instrumentation left in the build tree,
+# merges line coverage per source line across all translation units
+# (headers are counted once, template instances folded together),
+# aggregates over src/schemes/ and src/broadcast/ (the layers every
+# protocol walk exercises, and the ones this repo's correctness rests
+# on), emits an lcov-format tracefile for the CI artifact, and fails
+# when the aggregate line coverage of either layer drops below the
+# floor.
+#
+# Implemented on plain `gcov` text output so it runs anywhere gcc does —
+# no lcov/gcovr dependency.
+#
+# Usage: tools/coverage_gate.sh BUILD_DIR FLOOR_PERCENT [LCOV_OUTPUT]
+
+set -euo pipefail
+
+build_dir="${1:?usage: coverage_gate.sh BUILD_DIR FLOOR_PERCENT [LCOV_OUT]}"
+floor_percent="${2:?usage: coverage_gate.sh BUILD_DIR FLOOR_PERCENT [LCOV_OUT]}"
+lcov_out="${3:-}"
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$root/$build_dir" ;;
+esac
+if [ -n "$lcov_out" ]; then
+  case "$lcov_out" in
+    /*) ;;
+    *) lcov_out="$(pwd)/$lcov_out" ;;
+  esac
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+count=0
+while IFS= read -r -d '' gcda; do
+  # -p preserves the full source path, -l prefixes the report with the
+  # translation unit's name — so two units including the same header
+  # produce two reports instead of clobbering one another.
+  gcov -l -p -o "$(dirname "$gcda")" "$gcda" >/dev/null 2>&1 || true
+  count=$((count + 1))
+done < <(find "$build_dir" -name '*.gcda' -print0)
+
+if [ "$count" -eq 0 ]; then
+  echo "FAIL: no .gcda files under $build_dir" >&2
+  echo "      (configure with -DAIRINDEX_COVERAGE=ON and run ctest first)" >&2
+  exit 1
+fi
+
+# Merge every report into one "path line max-count" table: a line is
+# executable if any unit compiled it, covered if any unit executed it.
+merged="$workdir/merged.tsv"
+awk '
+  /^ *-: *0:Source:/ {
+    split($0, parts, "Source:")
+    src = parts[2]
+    next
+  }
+  {
+    n = split($0, f, ":")
+    if (n < 3 || src == "") next
+    cnt = f[1]
+    gsub(/^ +| +$/, "", cnt)
+    line = f[2] + 0
+    if (line == 0 || cnt == "-") next
+    if (cnt == "#####" || cnt == "=====") cnt = 0
+    sub(/\*$/, "", cnt)
+    key = src SUBSEP line
+    if (!(key in count) || cnt + 0 > count[key]) count[key] = cnt + 0
+  }
+  END {
+    for (key in count) {
+      split(key, k, SUBSEP)
+      printf "%s\t%d\t%d\n", k[1], k[2], count[key]
+    }
+  }' ./*.gcov | sort -t "$(printf '\t')" -k1,1 -k2,2n > "$merged"
+
+if [ -n "$lcov_out" ]; then
+  awk -F '\t' '
+    $1 != current {
+      if (current != "") print "end_of_record"
+      current = $1
+      printf "SF:%s\n", current
+    }
+    { printf "DA:%d,%d\n", $2, $3 }
+    END { if (current != "") print "end_of_record" }
+  ' "$merged" > "$lcov_out"
+fi
+
+status=0
+for layer in src/schemes src/broadcast; do
+  read -r covered total < <(awk -F '\t' -v prefix="$root/$layer/" '
+    index($1, prefix) == 1 {
+      total += 1
+      if ($3 > 0) covered += 1
+    }
+    END { printf "%d %d\n", covered + 0, total + 0 }' "$merged")
+  if [ "$total" -eq 0 ]; then
+    echo "FAIL: no instrumented lines found for $layer" >&2
+    status=1
+    continue
+  fi
+  percent=$((covered * 100 / total))
+  echo "coverage: $layer $covered/$total lines ($percent%), floor" \
+       "$floor_percent%"
+  if [ "$percent" -lt "$floor_percent" ]; then
+    echo "FAIL: $layer line coverage $percent% is below the" \
+         "$floor_percent% floor" >&2
+    status=1
+  fi
+done
+
+[ -n "$lcov_out" ] && echo "lcov tracefile written to $lcov_out"
+exit $status
