@@ -23,6 +23,26 @@ int ParseIntArg(int argc, char** argv, int* i, const char* flag) {
   return static_cast<int>(value);
 }
 
+double ParseDoubleArg(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  const double value = std::strtod(argv[++*i], &end);
+  if (end == argv[*i] || *end != '\0' || value < 0.0) {
+    std::fprintf(stderr, "invalid value for %s: %s\n", flag, argv[*i]);
+    std::exit(2);
+  }
+  return value;
+}
+
+std::string FormatFlagDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
 }  // namespace
 
 BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -52,6 +72,42 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--switch-cost") == 0) {
       options.multichannel.switch_cost_bytes =
           ParseIntArg(argc, argv, &i, "--switch-cost");
+    } else if (std::strcmp(argv[i], "--zipf") == 0) {
+      options.zipf_theta = ParseDoubleArg(argc, argv, &i, "--zipf");
+    } else if (std::strcmp(argv[i], "--cache-size") == 0) {
+      options.client.cache_capacity =
+          ParseIntArg(argc, argv, &i, "--cache-size");
+    } else if (std::strcmp(argv[i], "--cache-policy") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cache-policy requires a policy name\n");
+        std::exit(2);
+      }
+      if (!ParseCachePolicy(argv[++i], &options.client.cache_policy)) {
+        std::fprintf(stderr,
+                     "unknown cache policy '%s' (want lru, lfu or pix)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--session-length") == 0) {
+      options.client.session_length =
+          ParseIntArg(argc, argv, &i, "--session-length");
+      if (options.client.session_length < 1) {
+        std::fprintf(stderr, "--session-length must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--repeat-prob") == 0) {
+      options.client.repeat_probability =
+          ParseDoubleArg(argc, argv, &i, "--repeat-prob");
+      if (options.client.repeat_probability > 1.0) {
+        std::fprintf(stderr, "--repeat-prob must be in [0,1]\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--update-rate") == 0) {
+      options.client.update_rate =
+          ParseDoubleArg(argc, argv, &i, "--update-rate");
+    } else if (std::strcmp(argv[i], "--cache-warmup") == 0) {
+      options.client.warmup_queries =
+          ParseIntArg(argc, argv, &i, "--cache-warmup");
     } else if (std::strcmp(argv[i], "--allocation") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--allocation requires a strategy name\n");
@@ -75,6 +131,12 @@ void ApplyMultiChannelOptions(const BenchOptions& options,
   config->multichannel = options.multichannel;
 }
 
+void ApplyWorkloadOptions(const BenchOptions& options,
+                          TestbedConfig* config) {
+  if (options.zipf_theta >= 0.0) config->zipf_theta = options.zipf_theta;
+  config->client = options.client;
+}
+
 BenchReporter::BenchReporter(std::string bench_name,
                              const BenchOptions& options)
     : json_path_(options.json_path) {
@@ -91,6 +153,23 @@ BenchReporter::BenchReporter(std::string bench_name,
               std::to_string(options.multichannel.switch_cost_bytes));
     AddConfig("allocation",
               ChannelAllocationToString(options.multichannel.allocation));
+  }
+  // The workload keys follow the same rule: only a flag that left its
+  // "not given" default behind is recorded.
+  if (options.zipf_theta >= 0.0) {
+    AddConfig("zipf_theta", FormatFlagDouble(options.zipf_theta));
+  }
+  if (options.client.cache_capacity > 0) {
+    AddConfig("cache_policy",
+              CachePolicyToString(options.client.cache_policy));
+    AddConfig("cache_size", std::to_string(options.client.cache_capacity));
+    AddConfig("session_length",
+              std::to_string(options.client.session_length));
+    AddConfig("repeat_probability",
+              FormatFlagDouble(options.client.repeat_probability));
+    AddConfig("update_rate", FormatFlagDouble(options.client.update_rate));
+    AddConfig("cache_warmup",
+              std::to_string(options.client.warmup_queries));
   }
 }
 

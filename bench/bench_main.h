@@ -17,6 +17,20 @@
 //   --switch-cost B  broadcast bytes a client loses per channel hop
 //   --allocation S   multichannel allocation strategy: index-on-one,
 //                  data-partitioned (default) or replicated-index
+//   --zipf T       request-popularity skew Zipf(T) over record ranks
+//                  (unset = each bench's own workload; testbed benches
+//                  honour it via ApplyWorkloadOptions)
+//   --cache-size C   client cache capacity in records (default 0 = the
+//                  paper's stateless client; the session wrapper is
+//                  bypassed entirely)
+//   --cache-policy P eviction policy: lru (default), lfu or pix
+//   --session-length K  queries per client session
+//   --repeat-prob P  within-session probability of repeating the
+//                  previous query (temporal locality)
+//   --update-rate U  server updates per broadcast cycle (cached entries
+//                  are validated against the broadcast and refetched
+//                  when stale)
+//   --cache-warmup N warmup queries before measurement (steady state)
 //
 // BenchReporter accumulates the report while the bench prints its usual
 // tables, then writes the JSON file on Finish() when --json was given.
@@ -47,6 +61,12 @@ struct BenchOptions {
   /// testbed, under which ApplyMultiChannelOptions is a no-op and the
   /// JSON report stays byte-identical with pre-multichannel baselines.
   MultiChannelParams multichannel;
+  /// --zipf; < 0 means "not given" (keep the bench's own workload).
+  double zipf_theta = -1.0;
+  /// Stateful-client flags. The default (cache_capacity 0) keeps the
+  /// stateless client, ApplyWorkloadOptions stays a no-op for them, and
+  /// reports stay byte-identical with pre-client baselines.
+  ClientSessionConfig client;
 };
 
 /// Parses the shared flags, ignoring anything it does not recognise (so a
@@ -59,6 +79,13 @@ BenchOptions ParseBenchOptions(int argc, char** argv);
 /// --allocation apply uniformly.
 void ApplyMultiChannelOptions(const BenchOptions& options,
                               TestbedConfig* config);
+
+/// Copies the parsed workload flags (--zipf and the --cache-* /
+/// --session-* / --update-rate family) into a testbed config. --zipf is
+/// applied only when given, so benches with their own skew keep it by
+/// default. Benches whose sweep axes are these very knobs (e.g.
+/// fig_client_cache) skip this call.
+void ApplyWorkloadOptions(const BenchOptions& options, TestbedConfig* config);
 
 /// Collects bench results into a BenchReport and writes it when --json
 /// was requested.

@@ -79,6 +79,7 @@ int Main(int argc, char** argv) {
       config.num_records = num_records;
       config.seed = 42 + static_cast<std::uint64_t>(num_records);
       ApplyMultiChannelOptions(options, &config);
+      ApplyWorkloadOptions(options, &config);
       if (quick) {
         config.min_rounds = 10;
         config.max_rounds = 40;

@@ -75,6 +75,7 @@ int Main(int argc, char** argv) {
       config.data_availability = static_cast<double>(percent) / 100.0;
       config.seed = 1000 + static_cast<std::uint64_t>(percent);
       ApplyMultiChannelOptions(options, &config);
+      ApplyWorkloadOptions(options, &config);
       if (quick) {
         config.min_rounds = 10;
         config.max_rounds = 40;

@@ -71,6 +71,7 @@ int Main(int argc, char** argv) {
       config.geometry.key_bytes = 500 / ratio;
       config.seed = 2000 + static_cast<std::uint64_t>(ratio);
       ApplyMultiChannelOptions(options, &config);
+      ApplyWorkloadOptions(options, &config);
       if (quick) {
         config.min_rounds = 10;
         config.max_rounds = 40;

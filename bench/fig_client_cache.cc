@@ -1,0 +1,244 @@
+// Stateful-client cache sweep: steady-state hit ratio, access time and
+// tuning time versus cache size x Zipf skew x server update rate, for
+// the three eviction policies of client/client_cache.h (LRU, LFU, PIX)
+// in front of the (1,m) indexing scheme — simulated "(S)" next to the
+// closed-form client model "(A)" of analytical/client_model.h. Under a
+// single-frequency broadcast like (1,m) PIX degenerates to LFU by
+// design (every record is broadcast once per cycle); the policies
+// separate under broadcast disks (see tests/client_cache_test.cc).
+//
+// Clients run sessions of 8 Zipf queries with repeat probability 0.25;
+// each replication warms its cache before measuring, so the simulated
+// point is the steady state the model describes.
+//
+// Usage: fig_client_cache [--quick] [--csv] [--jobs N] [--records N]
+//                         [--session-length K] [--repeat-prob P]
+//                         [--cache-warmup N] [--json PATH]
+// (shared bench flags — see bench/bench_main.h; cache size, skew,
+// update rate and policy are this bench's sweep axes, so --cache-size /
+// --zipf / --update-rate / --cache-policy are ignored here.)
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analytical/client_model.h"
+#include "analytical/models.h"
+#include "bench_main.h"
+#include "client/client_cache.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+namespace {
+
+constexpr CachePolicy kPolicies[] = {CachePolicy::kLru, CachePolicy::kLfu,
+                                     CachePolicy::kPix};
+
+struct SweepCell {
+  int cache_size = 0;
+  double zipf_theta = 0.0;
+  double update_rate = 0.0;
+};
+
+/// Closed-form estimate for one (cell, policy) pair. Under (1,m) every
+/// record is broadcast once per cycle, so the PIX score has a uniform
+/// denominator and its residency equals LFU's.
+ClientSessionEstimate CellModel(const SweepCell& cell, CachePolicy policy,
+                                const TestbedConfig& config,
+                                Bytes cycle_bytes) {
+  const std::vector<double> popularity =
+      ZipfPopularity(config.num_records, cell.zipf_theta);
+  const std::vector<double> residency =
+      policy == CachePolicy::kLru
+          ? CheLruResidency(popularity, cell.cache_size)
+          : TopScoreResidency(popularity, cell.cache_size);
+
+  ClientSessionModelInputs inputs;
+  inputs.popularity = popularity;
+  inputs.residency = residency;
+  if (cell.update_rate > 0.0) {
+    const auto period = static_cast<Bytes>(std::llround(
+        static_cast<double>(cycle_bytes) / cell.update_rate));
+    inputs.freshness =
+        SteadyStateFreshness(popularity, config.data_availability,
+                             config.mean_request_interval_bytes, period);
+    inputs.repeat_freshness =
+        RepeatFreshness(config.mean_request_interval_bytes, period);
+    inputs.validation_bytes =
+        static_cast<double>(config.geometry.signature_bytes);
+  }
+  inputs.availability = config.data_availability;
+  inputs.session_length = config.client.session_length;
+  inputs.repeat_probability = config.client.repeat_probability;
+  const AnalyticalEstimate base = OneMModelExact(
+      config.num_records, config.geometry,
+      OneMOptimalMExact(config.num_records, config.geometry));
+  inputs.miss_access_bytes = base.access_time;
+  inputs.miss_tuning_bytes = base.tuning_time;
+  return ComposeClientSessionModel(inputs);
+}
+
+std::string FormatRate(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const bool quick = options.quick;
+  const bool csv = options.csv;
+
+  const int num_records = options.records > 0 ? options.records : 4000;
+  const std::vector<int> cache_sizes =
+      quick ? std::vector<int>{64, 256} : std::vector<int>{32, 128, 512};
+  const std::vector<double> thetas =
+      quick ? std::vector<double>{0.9} : std::vector<double>{0.6, 0.9, 1.2};
+  const std::vector<double> update_rates = {0.0, 4.0};
+  const int session_length =
+      options.client.session_length > 1 ? options.client.session_length : 8;
+  const double repeat_probability = options.client.repeat_probability > 0.0
+                                        ? options.client.repeat_probability
+                                        : 0.25;
+
+  std::vector<SweepCell> cells;
+  for (const int size : cache_sizes) {
+    for (const double theta : thetas) {
+      for (const double rate : update_rates) {
+        cells.push_back(SweepCell{size, theta, rate});
+      }
+    }
+  }
+
+  std::vector<std::string> columns = {"size", "theta", "upd"};
+  for (const CachePolicy policy : kPolicies) {
+    columns.push_back(std::string(CachePolicyToString(policy)) + " (S)");
+    columns.push_back(std::string(CachePolicyToString(policy)) + " (A)");
+  }
+  ReportTable hit_table(columns);
+  ReportTable access_table(columns);
+  ReportTable tuning_table(columns);
+
+  BenchReporter reporter("fig_client_cache", options);
+  reporter.AddConfig("records", std::to_string(num_records));
+  reporter.AddConfig("session_length", std::to_string(session_length));
+  reporter.AddConfig("repeat_probability", FormatRate(repeat_probability));
+
+  std::cout << "Client cache: hit ratio / access / tuning vs cache size, "
+               "Zipf skew and update rate\n"
+            << num_records << " records, (1,m) indexing, sessions of "
+            << session_length << " queries, repeat probability "
+            << repeat_probability << ", Table 1 settings otherwise\n"
+            << std::flush;
+
+  std::vector<TestbedConfig> configs;
+  for (const SweepCell& cell : cells) {
+    for (const CachePolicy policy : kPolicies) {
+      TestbedConfig config;
+      config.scheme = SchemeKind::kOneM;
+      config.num_records = num_records;
+      config.zipf_theta = cell.zipf_theta;
+      config.client.cache_capacity = cell.cache_size;
+      config.client.cache_policy = policy;
+      config.client.session_length = session_length;
+      config.client.repeat_probability = repeat_probability;
+      config.client.update_rate = cell.update_rate;
+      config.client.warmup_queries =
+          options.client.warmup_queries > 0
+              ? options.client.warmup_queries
+              : std::max(1000, 4 * cell.cache_size);
+      config.seed = 777 + static_cast<std::uint64_t>(num_records);
+      if (quick) {
+        config.min_rounds = 10;
+        config.max_rounds = 40;
+      }
+      configs.push_back(config);
+    }
+  }
+  ParallelExperiment experiment({.jobs = options.jobs});
+  const auto runs = experiment.RunSweep(configs);
+
+  std::size_t index = 0;
+  for (const SweepCell& cell : cells) {
+    std::vector<std::string> head = {std::to_string(cell.cache_size),
+                                     FormatRate(cell.zipf_theta),
+                                     FormatRate(cell.update_rate)};
+    std::vector<std::string> hit_row = head;
+    std::vector<std::string> access_row = head;
+    std::vector<std::string> tuning_row = head;
+    for (const CachePolicy policy : kPolicies) {
+      const TestbedConfig& config = configs[index];
+      const Result<SimulationResult>& run = runs[index++];
+      if (!run.ok()) {
+        std::cerr << "simulation failed: " << run.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      const SimulationResult& sim = run.value();
+      const auto queries =
+          static_cast<double>(sim.metrics.Get("client.session_queries"));
+      const double hit_ratio =
+          queries > 0.0
+              ? static_cast<double>(sim.metrics.Get("client.cache_hits")) /
+                    queries
+              : 0.0;
+      BenchPoint& point = reporter.AddSimulationPoint(
+          {{"cache_size", std::to_string(cell.cache_size)},
+           {"zipf_theta", FormatRate(cell.zipf_theta)},
+           {"update_rate", FormatRate(cell.update_rate)},
+           {"policy", CachePolicyToString(policy)}},
+          sim);
+      // Binomial 99% half-width, so cross-machine drift in the hit
+      // counters stays inside the bench_compare gate's CI-sum check.
+      const double hit_half_width =
+          queries > 0.0
+              ? 2.576 * std::sqrt(std::max(
+                            0.0, hit_ratio * (1.0 - hit_ratio) / queries))
+              : 0.0;
+      point.metrics.emplace_back(
+          "hit_ratio", BenchMetricValue{hit_ratio, hit_half_width, false});
+
+      const ClientSessionEstimate model =
+          CellModel(cell, policy, config, sim.cycle_bytes);
+      hit_row.push_back(FormatDouble(hit_ratio, 3));
+      hit_row.push_back(FormatDouble(model.hit_ratio, 3));
+      access_row.push_back(FormatDouble(sim.access.mean(), 0));
+      access_row.push_back(FormatDouble(model.access_bytes, 0));
+      tuning_row.push_back(FormatDouble(sim.tuning.mean(), 0));
+      tuning_row.push_back(FormatDouble(model.tuning_bytes, 0));
+      if (sim.anomalies != 0 || sim.outcome_mismatches != 0) {
+        std::cerr << "WARNING: " << CachePolicyToString(policy) << " size "
+                  << cell.cache_size << ": " << sim.anomalies
+                  << " anomalies, " << sim.outcome_mismatches
+                  << " outcome mismatches\n";
+      }
+    }
+    hit_table.AddRow(hit_row);
+    access_table.AddRow(access_row);
+    tuning_table.AddRow(tuning_row);
+  }
+
+  std::cout << "\n(a) Fresh-hit ratio vs cache size / skew / update rate\n";
+  csv ? hit_table.PrintCsv(std::cout) : hit_table.Print(std::cout);
+  std::cout << "\n(b) Access time (bytes)\n";
+  csv ? access_table.PrintCsv(std::cout) : access_table.Print(std::cout);
+  std::cout << "\n(c) Tuning time (bytes)\n";
+  csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

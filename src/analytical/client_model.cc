@@ -1,0 +1,130 @@
+#include "analytical/client_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace airindex {
+
+std::vector<double> ZipfPopularity(int n, double theta) {
+  std::vector<double> popularity(static_cast<std::size_t>(std::max(n, 0)));
+  double total = 0.0;
+  for (std::size_t k = 0; k < popularity.size(); ++k) {
+    popularity[k] =
+        1.0 / std::pow(static_cast<double>(k + 1), std::max(theta, 0.0));
+    total += popularity[k];
+  }
+  if (total > 0.0) {
+    for (double& p : popularity) p /= total;
+  }
+  return popularity;
+}
+
+std::vector<double> CheLruResidency(const std::vector<double>& popularity,
+                                    int capacity) {
+  const std::size_t n = popularity.size();
+  if (capacity <= 0) return std::vector<double>(n, 0.0);
+  if (static_cast<std::size_t>(capacity) >= n) {
+    return std::vector<double>(n, 1.0);
+  }
+  // Bisection on the monotone occupancy(tC) = sum(1 - exp(-q_i tC)).
+  const auto occupancy = [&](double t) {
+    double total = 0.0;
+    for (const double q : popularity) total += 1.0 - std::exp(-q * t);
+    return total;
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  while (occupancy(hi) < static_cast<double>(capacity) && hi < 1e18) {
+    hi *= 2.0;
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (occupancy(mid) < static_cast<double>(capacity) ? lo : hi) = mid;
+  }
+  const double t_c = 0.5 * (lo + hi);
+  std::vector<double> residency(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    residency[i] = 1.0 - std::exp(-popularity[i] * t_c);
+  }
+  return residency;
+}
+
+std::vector<double> TopScoreResidency(const std::vector<double>& scores,
+                                      int capacity) {
+  const std::size_t n = scores.size();
+  std::vector<double> residency(n, 0.0);
+  if (capacity <= 0) return residency;
+  if (static_cast<std::size_t>(capacity) >= n) {
+    std::fill(residency.begin(), residency.end(), 1.0);
+    return residency;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  for (int i = 0; i < capacity; ++i) {
+    residency[order[static_cast<std::size_t>(i)]] = 1.0;
+  }
+  return residency;
+}
+
+std::vector<double> SteadyStateFreshness(const std::vector<double>& popularity,
+                                         double availability,
+                                         double mean_interval_bytes,
+                                         Bytes update_period) {
+  const std::size_t n = popularity.size();
+  std::vector<double> freshness(n, 1.0);
+  if (update_period <= 0 || mean_interval_bytes <= 0.0) return freshness;
+  const auto period = static_cast<double>(update_period);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lambda =
+        availability * popularity[i] / mean_interval_bytes;
+    const double x = lambda * period;
+    freshness[i] = x / (x + 2.0);
+  }
+  return freshness;
+}
+
+double RepeatFreshness(double mean_interval_bytes, Bytes update_period) {
+  if (update_period <= 0 || mean_interval_bytes <= 0.0) return 1.0;
+  const double ratio =
+      static_cast<double>(update_period) / mean_interval_bytes;
+  return 1.0 - (1.0 - std::exp(-ratio)) / ratio;
+}
+
+ClientSessionEstimate ComposeClientSessionModel(
+    const ClientSessionModelInputs& inputs) {
+  const std::size_t n = inputs.popularity.size();
+  const double a = inputs.availability;
+  const double rho =
+      inputs.session_length > 1
+          ? (1.0 - 1.0 / static_cast<double>(inputs.session_length)) *
+                inputs.repeat_probability
+          : 0.0;
+
+  double fresh_hit = 0.0;  // sum q_i r_i s_i
+  double cached = 0.0;     // sum q_i r_i
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = inputs.popularity[i];
+    const double r = i < inputs.residency.size() ? inputs.residency[i] : 0.0;
+    const double s = i < inputs.freshness.size() ? inputs.freshness[i] : 1.0;
+    cached += q * r;
+    fresh_hit += q * r * s;
+  }
+
+  ClientSessionEstimate estimate;
+  estimate.cached_ratio = rho * a + (1.0 - rho) * a * cached;
+  estimate.hit_ratio =
+      rho * a * inputs.repeat_freshness + (1.0 - rho) * a * fresh_hit;
+  estimate.access_bytes =
+      (1.0 - estimate.hit_ratio) * inputs.miss_access_bytes;
+  estimate.tuning_bytes =
+      estimate.cached_ratio * inputs.validation_bytes +
+      (1.0 - estimate.hit_ratio) * inputs.miss_tuning_bytes;
+  return estimate;
+}
+
+}  // namespace airindex

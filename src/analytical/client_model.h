@@ -1,0 +1,123 @@
+// Layer: 4 (analytical) — see docs/ARCHITECTURE.md for the layer map.
+//
+// Closed-form steady-state models of the stateful client (src/client):
+// per-record cache residency under the three eviction policies, version
+// freshness under the deterministic server update schedule, and the
+// composition of both with a scheme's per-miss access/tuning costs.
+//
+// The functions are policy-agnostic building blocks — the caller picks
+// the residency model that matches its ClientCache policy:
+//
+//   kLru  CheLruResidency(popularity, capacity)       (Che approximation)
+//   kLfu  TopScoreResidency(popularity, capacity)     (perfect LFU keeps
+//                                                      the top-C records)
+//   kPix  TopScoreResidency(pix_scores, capacity)     with pix_scores[i]
+//         = popularity[i] / broadcast_frequency[i]
+//
+// which keeps this layer free of client-layer types (analytical and
+// client are both layer 4; neither includes the other).
+#ifndef AIRINDEX_ANALYTICAL_CLIENT_MODEL_H_
+#define AIRINDEX_ANALYTICAL_CLIENT_MODEL_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace airindex {
+
+/// Zipf(theta) probability of each rank 0..n-1 (rank 0 hottest) — the
+/// request popularity des/zipf samples from, as a dense vector.
+std::vector<double> ZipfPopularity(int n, double theta);
+
+/// Che approximation of steady-state LRU residency: record i is cached
+/// with probability 1 - exp(-q_i * tC), where the characteristic time tC
+/// solves sum_i(1 - exp(-q_i * tC)) = capacity (bisection; time is
+/// measured in requests, so only the popularity ratios matter).
+/// capacity >= n degenerates to all-ones.
+std::vector<double> CheLruResidency(const std::vector<double>& popularity,
+                                    int capacity);
+
+/// Residency of a score-ranked policy that keeps the `capacity` highest
+/// scores resident (perfect LFU with popularity scores; PIX with
+/// popularity/broadcast-frequency scores): 1.0 for the top-capacity
+/// records, 0.0 otherwise. Ties broken by index (lower index resident),
+/// matching the deterministic eviction tie-break.
+std::vector<double> TopScoreResidency(const std::vector<double>& scores,
+                                      int capacity);
+
+/// Steady-state probability that a cache probe for record i finds its
+/// copy fresh. Downloads renew the copy; the next version boundary
+/// falls Uniform(0, T) after a download, and probes arrive Poisson at
+/// per-byte rate lambda_i = availability * popularity[i] /
+/// mean_interval_bytes — so each renewal cycle serves lambda_i * T/2
+/// fresh probes before one stale probe re-downloads, giving
+/// s_i = x / (x + 2) with x = lambda_i * T.
+/// update_period == 0 (frozen data) yields all-ones.
+std::vector<double> SteadyStateFreshness(const std::vector<double>& popularity,
+                                         double availability,
+                                         double mean_interval_bytes,
+                                         Bytes update_period);
+
+/// Probability a within-session repeat finds its copy fresh: the gap
+/// back to the previous access is one inter-arrival ~ Exp(mu) with
+/// mu = mean_interval_bytes, and the version boundary is uniform in the
+/// period, so s_rep = 1 - (mu/T)(1 - exp(-T/mu)). update_period == 0
+/// yields 1.0.
+double RepeatFreshness(double mean_interval_bytes, Bytes update_period);
+
+/// Inputs of the session composition (see ComposeClientSessionModel).
+struct ClientSessionModelInputs {
+  /// Request popularity over records (sums to 1).
+  std::vector<double> popularity;
+  /// Per-record cache residency (CheLruResidency / TopScoreResidency).
+  std::vector<double> residency;
+  /// Per-record freshness (SteadyStateFreshness); empty = all fresh.
+  std::vector<double> freshness;
+  /// Freshness of within-session repeats (RepeatFreshness); repeats
+  /// re-probe after one inter-arrival, far sooner than the per-record
+  /// steady-state gap the freshness vector describes.
+  double repeat_freshness = 1.0;
+  /// Probability a query's key is on air (TestbedConfig equivalent).
+  double availability = 1.0;
+  /// Session workload: K queries per session, repeat probability p.
+  int session_length = 1;
+  double repeat_probability = 0.0;
+  /// Validation read charged per cache probe that finds an entry.
+  double validation_bytes = 0.0;
+  /// The wrapped scheme's per-miss expected costs (e.g. OneMModelExact).
+  double miss_access_bytes = 0.0;
+  double miss_tuning_bytes = 0.0;
+};
+
+/// Expected steady-state metrics of one session query.
+struct ClientSessionEstimate {
+  /// Probability the queried key is cached (fresh or stale) — the
+  /// cache-probe rate that pays the validation read.
+  double cached_ratio = 0.0;
+  /// Probability the query is served from cache fresh — matches the
+  /// simulator's cache_hits / session_queries.
+  double hit_ratio = 0.0;
+  /// Expected access / tuning bytes per query.
+  double access_bytes = 0.0;
+  double tuning_bytes = 0.0;
+};
+
+/// Composes residency and freshness with the session workload and the
+/// wrapped scheme's miss costs:
+///
+///   rho  = (1 - 1/K) * p                     (repeat share of queries)
+///   Hraw = rho * a + (1-rho) * a * sum q_i r_i
+///   F    = rho * a * s_rep + (1-rho) * a * sum q_i r_i s_i
+///   At   = (1 - F) * At_miss
+///   Tt   = Hraw * Vt + (1 - F) * Tt_miss
+///
+/// (a repeated key was just accessed, so it is cached and its freshness
+/// is s_rep = repeat_freshness). Stale hits pay both the validation
+/// read (inside Hraw * Vt) and the full refetch (inside (1-F) * miss
+/// costs), exactly as the simulator charges them.
+ClientSessionEstimate ComposeClientSessionModel(
+    const ClientSessionModelInputs& inputs);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_ANALYTICAL_CLIENT_MODEL_H_

@@ -1,0 +1,141 @@
+#include "client/client_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace airindex {
+
+const char* CachePolicyToString(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kLfu:
+      return "lfu";
+    case CachePolicy::kPix:
+      return "pix";
+  }
+  return "unknown";
+}
+
+bool ParseCachePolicy(std::string_view name, CachePolicy* policy) {
+  if (name == "lru") {
+    *policy = CachePolicy::kLru;
+  } else if (name == "lfu") {
+    *policy = CachePolicy::kLfu;
+  } else if (name == "pix") {
+    *policy = CachePolicy::kPix;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ClientCache::ClientCache(int capacity, CachePolicy policy, int num_records,
+                         std::vector<double> broadcast_frequencies)
+    : capacity_(std::max(capacity, 0)),
+      policy_(policy),
+      access_counts_(static_cast<std::size_t>(std::max(num_records, 0)), 0),
+      frequencies_(std::move(broadcast_frequencies)) {
+  slots_.reserve(static_cast<std::size_t>(capacity_));
+  index_.reserve(static_cast<std::size_t>(capacity_) * 2);
+}
+
+ClientCache::Entry* ClientCache::Find(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  Entry& entry = slots_[it->second];
+  entry.last_used = ++tick_;
+  return &entry;
+}
+
+void ClientCache::RecordAccess(int record_index) {
+  if (record_index < 0 ||
+      static_cast<std::size_t>(record_index) >= access_counts_.size()) {
+    return;
+  }
+  ++access_counts_[static_cast<std::size_t>(record_index)];
+}
+
+void ClientCache::Insert(std::string_view key, int record_index,
+                         std::int64_t version) {
+  if (capacity_ == 0 || record_index < 0 ||
+      static_cast<std::size_t>(record_index) >= access_counts_.size()) {
+    return;
+  }
+  if (const auto it = index_.find(key); it != index_.end()) {
+    Entry& entry = slots_[it->second];
+    entry.version = version;
+    entry.last_used = ++tick_;
+    return;
+  }
+  std::size_t slot;
+  if (static_cast<int>(slots_.size()) < capacity_) {
+    slot = slots_.size();
+    slots_.emplace_back();
+  } else {
+    slot = VictimSlot();
+    index_.erase(slots_[slot].key);
+    ++evictions_;
+  }
+  slots_[slot] = Entry{key, record_index, version, ++tick_};
+  index_.emplace(key, slot);
+}
+
+void ClientCache::Erase(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  const std::size_t slot = it->second;
+  index_.erase(it);
+  // Keep the slot array dense: move the last entry into the hole.
+  if (slot != slots_.size() - 1) {
+    slots_[slot] = slots_.back();
+    index_[slots_[slot].key] = slot;
+  }
+  slots_.pop_back();
+}
+
+std::int64_t ClientCache::access_count(int record_index) const {
+  if (record_index < 0 ||
+      static_cast<std::size_t>(record_index) >= access_counts_.size()) {
+    return 0;
+  }
+  return access_counts_[static_cast<std::size_t>(record_index)];
+}
+
+double ClientCache::Score(const Entry& entry) const {
+  switch (policy_) {
+    case CachePolicy::kLru:
+      return static_cast<double>(entry.last_used);
+    case CachePolicy::kLfu:
+      return static_cast<double>(
+          access_counts_[static_cast<std::size_t>(entry.record_index)]);
+    case CachePolicy::kPix: {
+      const auto count = static_cast<double>(
+          access_counts_[static_cast<std::size_t>(entry.record_index)]);
+      const double frequency =
+          static_cast<std::size_t>(entry.record_index) < frequencies_.size()
+              ? frequencies_[static_cast<std::size_t>(entry.record_index)]
+              : 1.0;
+      return frequency > 0.0 ? count / frequency
+                             : std::numeric_limits<double>::max();
+    }
+  }
+  return 0.0;
+}
+
+std::size_t ClientCache::VictimSlot() const {
+  std::size_t victim = 0;
+  double victim_score = Score(slots_[0]);
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    const double score = Score(slots_[i]);
+    if (score < victim_score ||
+        (score == victim_score &&
+         slots_[i].last_used < slots_[victim].last_used)) {
+      victim = i;
+      victim_score = score;
+    }
+  }
+  return victim;
+}
+
+}  // namespace airindex

@@ -1,0 +1,134 @@
+// Layer: 4 (client) — see docs/ARCHITECTURE.md for the layer map.
+#ifndef AIRINDEX_CLIENT_CLIENT_CACHE_H_
+#define AIRINDEX_CLIENT_CLIENT_CACHE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace airindex {
+
+/// Eviction policy of the client-side record cache.
+enum class CachePolicy {
+  /// Evict the least recently used record.
+  kLru,
+  /// Evict the least frequently used record ("perfect" LFU: access counts
+  /// persist across evictions, so the steady state is the top-C records
+  /// by request probability).
+  kLfu,
+  /// Cost-based PIX (Acharya et al.'s broadcast-disks caching): evict the
+  /// record with the smallest access-probability / broadcast-frequency
+  /// ratio. A record that is broadcast often is cheap to refetch, so a
+  /// slot is better spent on an equally popular record from a cold disk.
+  kPix,
+};
+
+/// Short stable name ("lru", "lfu", "pix") for reports and flags.
+const char* CachePolicyToString(CachePolicy policy);
+
+/// Parses the names CachePolicyToString emits. Returns false (and leaves
+/// `policy` untouched) on an unknown name.
+bool ParseCachePolicy(std::string_view name, CachePolicy* policy);
+
+/// Client-session knobs of a testbed run. The defaults describe the
+/// paper's stateless client: no cache, one query per session, no server
+/// updates — under which the session wrapper is bypassed entirely and
+/// results stay byte-identical with pre-client builds.
+struct ClientSessionConfig {
+  /// Cache capacity in records; 0 disables the client cache (and the
+  /// SessionClient wrapper with it).
+  int cache_capacity = 0;
+  /// Eviction policy when the cache is full.
+  CachePolicy cache_policy = CachePolicy::kLru;
+  /// Queries per client session. Temporal locality (repeat draws) only
+  /// applies within a session; the first query of a session is always a
+  /// fresh draw.
+  int session_length = 1;
+  /// Probability that a non-initial session query repeats the previous
+  /// query's key instead of drawing fresh.
+  double repeat_probability = 0.0;
+  /// Server-side mutation rate in updates per broadcast cycle, applied
+  /// independently to every record. 0 freezes the data (no versioning,
+  /// no validation reads).
+  double update_rate = 0.0;
+  /// Warmup queries run against the cache before measurement starts, so
+  /// short replications observe the steady state the analytical models
+  /// describe rather than the cold start. Ignored when the cache is off.
+  int warmup_queries = 0;
+};
+
+/// Fixed-capacity record cache with deterministic, pluggable eviction.
+///
+/// Keys are std::string_view aliases into Dataset-owned key storage, so
+/// the cache holds no per-entry heap strings and lookups are
+/// allocation-free. Eviction scans the (small, capacity-bounded) slot
+/// array for the minimum policy score and breaks ties by the unique
+/// recency tick — fully deterministic, which is what keeps --jobs N
+/// bit-identity intact with per-replication cache state.
+class ClientCache {
+ public:
+  struct Entry {
+    std::string_view key;
+    /// Dataset record index of the cached record.
+    int record_index = -1;
+    /// Server version observed when the record was fetched.
+    std::int64_t version = 0;
+    /// Recency tick of the last touch (unique across the cache history).
+    std::int64_t last_used = 0;
+  };
+
+  /// `capacity` > 0 slots over a dataset of `num_records` records.
+  /// `broadcast_frequencies`, when non-empty, holds one relative
+  /// broadcast frequency per record (appearances per unit time — the
+  /// PIX denominator); empty means a uniform broadcast, under which
+  /// kPix degenerates to kLfu.
+  ClientCache(int capacity, CachePolicy policy, int num_records,
+              std::vector<double> broadcast_frequencies = {});
+
+  /// Looks `key` up and refreshes its recency on a hit; nullptr on a
+  /// miss. The returned pointer is valid until the next Insert/Erase.
+  Entry* Find(std::string_view key);
+
+  /// Counts one access to `record_index` for the frequency-based
+  /// policies. Callers count every resolved query exactly once — hits
+  /// and misses alike — so kLfu sees the full request history
+  /// ("perfect" LFU), not just the cached fraction.
+  void RecordAccess(int record_index);
+
+  /// Inserts (or refreshes) a record, evicting the policy's victim when
+  /// full. No-op when `record_index` is out of range.
+  void Insert(std::string_view key, int record_index, std::int64_t version);
+
+  /// Drops `key` if cached (broadcast-driven invalidation).
+  void Erase(std::string_view key);
+
+  int size() const { return static_cast<int>(slots_.size()); }
+  int capacity() const { return capacity_; }
+  CachePolicy policy() const { return policy_; }
+  std::int64_t evictions() const { return evictions_; }
+
+  /// Lifetime access count of a record (kLfu / kPix bookkeeping).
+  std::int64_t access_count(int record_index) const;
+
+ private:
+  /// Slot index of the eviction victim: minimum policy score, ties to
+  /// the oldest recency tick.
+  std::size_t VictimSlot() const;
+  double Score(const Entry& entry) const;
+
+  int capacity_;
+  CachePolicy policy_;
+  std::vector<Entry> slots_;
+  std::unordered_map<std::string_view, std::size_t> index_;
+  /// Per-record lifetime access counts (persist across evictions).
+  std::vector<std::int64_t> access_counts_;
+  /// Per-record relative broadcast frequency (kPix); empty = uniform.
+  std::vector<double> frequencies_;
+  std::int64_t tick_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_CLIENT_CLIENT_CACHE_H_

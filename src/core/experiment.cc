@@ -39,6 +39,16 @@ ParallelExperiment::ParallelExperiment(ParallelOptions options)
   timing_.jobs = pool_.size();
 }
 
+std::shared_ptr<const ZipfDistribution> ParallelExperiment::ZipfFor(
+    int n, double theta) {
+  for (const auto& [key, table] : zipf_cache_) {
+    if (key.first == n && key.second == theta) return table;
+  }
+  auto table = std::make_shared<const ZipfDistribution>(n, theta);
+  zipf_cache_.emplace_back(std::make_pair(n, theta), table);
+  return table;
+}
+
 Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   const auto start = std::chrono::steady_clock::now();
   const double busy_before = pool_.busy_seconds();
@@ -56,6 +66,14 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
                               config.params, config.multichannel);
   if (!server_result.ok()) return server_result.status();
   const BroadcastServer server = std::move(server_result).value();
+
+  // Hoist the Zipf table out of the per-replication path; alive until
+  // pool_.Wait() below, so the raw pointer workers capture stays valid.
+  std::shared_ptr<const ZipfDistribution> zipf_table;
+  if (config.zipf_theta > 0.0) {
+    zipf_table = ZipfFor(dataset->size(), config.zipf_theta);
+  }
+  const ZipfDistribution* zipf = zipf_table.get();
 
   AccuracyController accuracy(config.confidence_level,
                               config.confidence_accuracy);
@@ -82,9 +100,9 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
       const int id = next_submit++;
       const std::uint64_t seed =
           ReplicationSeed(config.seed, static_cast<std::uint64_t>(id));
-      pool_.Submit([&server, &dataset, &config, &buffer, id, seed]() {
+      pool_.Submit([&server, &dataset, &config, &buffer, id, seed, zipf]() {
         ReplicationResult result =
-            RunReplication(server, *dataset, config, seed);
+            RunReplication(server, *dataset, config, seed, zipf);
         std::lock_guard<std::mutex> lock(buffer.mu);
         buffer.completed.emplace(id, std::move(result));
         buffer.peak =

@@ -2,6 +2,8 @@
 #ifndef AIRINDEX_CORE_EXPERIMENT_H_
 #define AIRINDEX_CORE_EXPERIMENT_H_
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -85,9 +87,20 @@ class ParallelExperiment {
   int jobs() const { return pool_.size(); }
 
  private:
+  /// One shared Zipf sampling table per distinct (ranks, theta):
+  /// replications — and same-shape sweep cells, since the cache persists
+  /// across Run calls — reuse it instead of recomputing the O(n)
+  /// harmonic normalization per replication. Sharing cannot change
+  /// results: the cached table is bit-identical to the one each
+  /// replication would build itself.
+  std::shared_ptr<const ZipfDistribution> ZipfFor(int n, double theta);
+
   ThreadPool pool_;
   int lookahead_;
   RunTiming timing_;
+  std::vector<std::pair<std::pair<int, double>,
+                        std::shared_ptr<const ZipfDistribution>>>
+      zipf_cache_;
 };
 
 }  // namespace airindex

@@ -8,13 +8,19 @@ namespace airindex {
 RequestGenerator::RequestGenerator(const Dataset* dataset,
                                    double data_availability,
                                    double mean_interval_bytes, Rng rng,
-                                   double zipf_theta)
+                                   double zipf_theta,
+                                   const ZipfDistribution* shared_zipf,
+                                   SessionWorkload session)
     : dataset_(dataset),
       data_availability_(data_availability),
       mean_interval_bytes_(mean_interval_bytes),
-      rng_(rng) {
-  if (zipf_theta > 0.0) {
-    zipf_.emplace(dataset->size(), zipf_theta);
+      rng_(rng),
+      session_(session) {
+  if (shared_zipf != nullptr) {
+    zipf_ = shared_zipf;
+  } else if (zipf_theta > 0.0) {
+    owned_zipf_.emplace(dataset->size(), zipf_theta);
+    zipf_ = &*owned_zipf_;
   }
 }
 
@@ -24,11 +30,23 @@ Bytes RequestGenerator::NextInterArrival() {
 }
 
 Query RequestGenerator::NextQuery() {
+  // Session repeat draw first: only when a repeat is possible at all
+  // (active workload, non-initial query, previous query known), so the
+  // stateless default consumes exactly the draws it always did.
+  if (session_.active()) {
+    if (session_remaining_ <= 0) session_remaining_ = session_.length;
+    const bool initial = session_remaining_ == session_.length;
+    --session_remaining_;
+    if (!initial && has_last_query_ &&
+        rng_.NextBernoulli(session_.repeat_probability)) {
+      return last_query_;
+    }
+  }
   Query query;
   query.on_air = rng_.NextBernoulli(data_availability_);
   if (query.on_air) {
     const int index =
-        zipf_.has_value()
+        zipf_ != nullptr
             ? zipf_->Sample(&rng_)
             : static_cast<int>(rng_.NextBounded(
                   static_cast<std::uint64_t>(dataset_->size())));
@@ -38,6 +56,8 @@ Query RequestGenerator::NextQuery() {
         rng_.NextBounded(static_cast<std::uint64_t>(dataset_->size() + 1)));
     query.key = dataset_->absent_key(index);
   }
+  last_query_ = query;
+  has_last_query_ = true;
   return query;
 }
 

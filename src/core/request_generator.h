@@ -22,6 +22,20 @@ struct Query {
   bool on_air = false;
 };
 
+/// Session workload of the stateful-client extension: queries arrive in
+/// sessions of `length`, and every non-initial query of a session
+/// repeats the previous query's key with probability
+/// `repeat_probability` (temporal locality). The defaults — and any
+/// combination where no repeat is possible — consume no extra RNG
+/// draws, so the paper's stateless request stream stays byte-identical.
+struct SessionWorkload {
+  int length = 1;
+  double repeat_probability = 0.0;
+
+  /// True when a repeat draw can ever happen.
+  bool active() const { return length > 1 && repeat_probability > 0.0; }
+};
+
 /// The testbed's RequestGenerator (paper Section 3): produces requests
 /// "periodically based on certain distribution ... the request generation
 /// process follows exponential distribution".
@@ -34,9 +48,17 @@ struct Query {
 /// the skewed-popularity extension used with broadcast disks.
 class RequestGenerator {
  public:
+  /// `shared_zipf`, when non-null, is used instead of constructing a
+  /// Zipf table locally — the replication engine hoists the O(n)
+  /// harmonic-sum construction out of the per-replication path and
+  /// shares one table across replications and same-shape sweep cells.
+  /// It must match (dataset->size(), zipf_theta) and outlive the
+  /// generator; sampling from it is identical to a locally-built table.
   RequestGenerator(const Dataset* dataset, double data_availability,
                    double mean_interval_bytes, Rng rng,
-                   double zipf_theta = 0.0);
+                   double zipf_theta = 0.0,
+                   const ZipfDistribution* shared_zipf = nullptr,
+                   SessionWorkload session = {});
 
   /// Bytes until the next request arrives (exponential draw, >= 1).
   Bytes NextInterArrival();
@@ -49,7 +71,15 @@ class RequestGenerator {
   double data_availability_;
   double mean_interval_bytes_;
   Rng rng_;
-  std::optional<ZipfDistribution> zipf_;
+  std::optional<ZipfDistribution> owned_zipf_;
+  /// Points at owned_zipf_ or the shared table; nullptr = uniform.
+  const ZipfDistribution* zipf_ = nullptr;
+  SessionWorkload session_;
+  /// Queries remaining in the current session (counting the one about
+  /// to be drawn); the session boundary resets the repeat chain.
+  int session_remaining_ = 0;
+  Query last_query_;
+  bool has_last_query_ = false;
 };
 
 }  // namespace airindex

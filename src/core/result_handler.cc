@@ -21,8 +21,12 @@ void ResultHandler::Add(const AccessResult& result, bool expected_on_air) {
   buckets_listened_ += result.probes;
   bytes_listened_ += result.tuning_time;
   // Switch overhead is neither listened nor dozed: the tuner is retuning.
-  bytes_dozed_ +=
-      result.access_time - result.tuning_time - result.switch_bytes;
+  // Clamped at zero per request: a validated cache hit charges tuning
+  // (the validity-filter read) while zero broadcast bytes elapse, so its
+  // doze contribution is nothing, not a negative residue. Every
+  // over-the-air walk has tuning <= access and is unaffected.
+  bytes_dozed_ += std::max<std::int64_t>(
+      0, result.access_time - result.tuning_time - result.switch_bytes);
   index_probes_ += result.index_probes;
   overflow_hops_ += result.overflow_hops;
   error_retries_ += result.retries;

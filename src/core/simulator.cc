@@ -1,10 +1,15 @@
 #include "core/simulator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "client/session_client.h"
 #include "core/accuracy_controller.h"
 #include "core/broadcast_server.h"
 #include "core/deadline.h"
@@ -24,7 +29,8 @@ namespace {
 /// therefore the JSON report) deterministic and --jobs independent.
 MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
                                    const BroadcastServer& server,
-                                   const ResultHandler& results) {
+                                   const ResultHandler& results,
+                                   const SessionClient* session) {
   MetricsRegistry metrics;
   metrics.Increment("sim.events_processed",
                     static_cast<std::int64_t>(simulation.events_processed()));
@@ -48,7 +54,103 @@ MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
                         results.tuning_bytes_on_channel(c));
     }
   }
+  // Likewise the session block appears only when the client cache is
+  // engaged, keeping stateless-client reports byte-identical.
+  if (session != nullptr) {
+    metrics.Increment("client.session_queries", session->session_queries());
+    metrics.Increment("client.cache_hits", session->hits());
+    metrics.Increment("client.cache_misses", session->misses());
+    metrics.Increment("client.cache_hit_bytes", session->hit_bytes());
+    metrics.Increment("client.cache_validation_bytes",
+                      session->validation_bytes());
+    metrics.Increment("client.cache_invalidations",
+                      session->invalidations());
+    metrics.Increment("client.cache_evictions", session->evictions());
+    metrics.Increment("client.cache_warm_inserts", session->warm_inserts());
+  }
   return metrics;
+}
+
+/// Miss path of the session client: the wrapped scheme with the same
+/// unreliable-channel and deadline wrappers the stateless client runs.
+struct ServerFetcher final : RecordFetcher {
+  ServerFetcher(const BroadcastServer* server_in,
+                const TestbedConfig* config_in, Rng* error_rng_in,
+                bool unreliable_in)
+      : server(server_in),
+        config(config_in),
+        error_rng(error_rng_in),
+        unreliable(unreliable_in) {}
+
+  const BroadcastServer* server;
+  const TestbedConfig* config;
+  Rng* error_rng;
+  bool unreliable;
+
+  AccessResult Fetch(std::string_view key, Bytes tune_in) override {
+    return ApplyDeadline(
+        unreliable ? AccessWithErrors(server->scheme(), key, tune_in,
+                                      config->error_model, error_rng)
+                   : server->Listen(key, tune_in),
+        config->deadline);
+  }
+};
+
+/// The longest broadcast cycle in play — the time base of the server
+/// update schedule (update_rate is "updates per broadcast cycle").
+Bytes ServerCycleBytes(const BroadcastServer& server) {
+  if (const MultiChannelProgram* multi = server.multichannel();
+      multi != nullptr) {
+    return multi->group().max_cycle_bytes();
+  }
+  return server.channel().cycle_bytes();
+}
+
+SessionClientParams BuildSessionParams(const TestbedConfig& config,
+                                       const BroadcastServer& server) {
+  SessionClientParams params;
+  params.cache_capacity = config.client.cache_capacity;
+  params.cache_policy = config.client.cache_policy;
+  if (config.client.update_rate > 0.0) {
+    params.update_period = std::max<Bytes>(
+        1, static_cast<Bytes>(
+               std::llround(static_cast<double>(ServerCycleBytes(server)) /
+                            config.client.update_rate)));
+    // Config-level, not replication-level: the server mutates data on
+    // one global schedule every replication observes identically.
+    params.update_seed = Mix64(config.seed ^ 0xc11e47caULL);
+    params.validation_bytes = config.geometry.signature_bytes;
+  }
+  return params;
+}
+
+/// PIX needs each record's broadcast frequency; the other policies
+/// ignore it, so skip the channel scan for them.
+std::vector<double> SessionFrequencies(const BroadcastServer& server,
+                                       int num_records, CachePolicy policy) {
+  if (policy != CachePolicy::kPix) return {};
+  std::vector<const Channel*> channels;
+  if (const MultiChannelProgram* multi = server.multichannel();
+      multi != nullptr) {
+    for (int c = 0; c < multi->group().num_channels(); ++c) {
+      channels.push_back(&multi->group().channel(c));
+    }
+  } else {
+    channels.push_back(&server.channel());
+  }
+  return BroadcastFrequencies(channels, num_records);
+}
+
+/// Runs the configured warmup queries through the cache's fast path so
+/// measurement starts at the steady state the analytical models
+/// describe. Draws from the measured generator stream (deterministic);
+/// absent keys warm nothing, exactly like a measured miss.
+void WarmSessionCache(SessionClient* session, RequestGenerator* generator,
+                      int warmup_queries) {
+  for (int i = 0; i < warmup_queries; ++i) {
+    const Query query = generator->NextQuery();
+    if (query.on_air) session->WarmInsert(query.key, 0);
+  }
 }
 
 }  // namespace
@@ -94,6 +196,22 @@ Status ValidateTestbedConfig(const TestbedConfig& config) {
   }
   if (config.multichannel.switch_cost_bytes < 0) {
     return Status::InvalidArgument("switch cost must be non-negative");
+  }
+  if (config.client.cache_capacity < 0) {
+    return Status::InvalidArgument("cache capacity must be non-negative");
+  }
+  if (config.client.session_length < 1) {
+    return Status::InvalidArgument("session length must be positive");
+  }
+  if (config.client.repeat_probability < 0.0 ||
+      config.client.repeat_probability > 1.0) {
+    return Status::InvalidArgument("repeat probability must be in [0,1]");
+  }
+  if (config.client.update_rate < 0.0) {
+    return Status::InvalidArgument("update rate must be non-negative");
+  }
+  if (config.client.warmup_queries < 0) {
+    return Status::InvalidArgument("warmup queries must be non-negative");
   }
   return Status::Ok();
 }
@@ -158,14 +276,32 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   const BroadcastServer server = std::move(server_result).value();
 
   Rng master(config.seed);
-  RequestGenerator generator(dataset.get(), config.data_availability,
-                             config.mean_request_interval_bytes,
-                             master.Split(), config.zipf_theta);
+  RequestGenerator generator(
+      dataset.get(), config.data_availability,
+      config.mean_request_interval_bytes, master.Split(), config.zipf_theta,
+      nullptr,
+      SessionWorkload{config.client.session_length,
+                      config.client.repeat_probability});
   Rng error_rng = master.Split();
   const bool unreliable = config.error_model.bucket_error_rate > 0.0;
   ResultHandler results;
   AccuracyController accuracy(config.confidence_level,
                               config.confidence_accuracy);
+
+  // Stateful-client wrapper, engaged only when the cache has capacity —
+  // the zero-capacity bypass keeps stateless runs byte-identical.
+  ServerFetcher fetcher{&server, &config, &error_rng, unreliable};
+  std::optional<SessionClient> session_storage;
+  if (config.client.cache_capacity > 0) {
+    session_storage.emplace(
+        dataset.get(), BuildSessionParams(config, server),
+        SessionFrequencies(server, dataset->size(),
+                           config.client.cache_policy),
+        &fetcher);
+    WarmSessionCache(&*session_storage, &generator,
+                     config.client.warmup_queries);
+  }
+  SessionClient* session = session_storage ? &*session_storage : nullptr;
 
   // --- Simulation stage. --------------------------------------------------
   Simulation simulation;
@@ -178,13 +314,16 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   std::function<void()> schedule_next_arrival = [&]() {
     auto on_arrival = [&]() {
       const Query query = generator.NextQuery();
-      const AccessResult access = ApplyDeadline(
-          unreliable
-              ? AccessWithErrors(server.scheme(), query.key,
-                                 simulation.now(), config.error_model,
-                                 &error_rng)
-              : server.Listen(query.key, simulation.now()),
-          config.deadline);
+      const AccessResult access =
+          session != nullptr
+              ? session->Access(query.key, simulation.now())
+              : ApplyDeadline(
+                    unreliable
+                        ? AccessWithErrors(server.scheme(), query.key,
+                                           simulation.now(),
+                                           config.error_model, &error_rng)
+                        : server.Listen(query.key, simulation.now()),
+                    config.deadline);
       auto on_completion = [&, access, on_air = query.on_air]() {
         results.Add(access, on_air);
         if (results.round_size() >= config.requests_per_round) {
@@ -226,7 +365,7 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   result.false_drops = results.false_drops();
   result.anomalies = results.anomalies();
   result.outcome_mismatches = results.outcome_mismatches();
-  result.metrics = SnapshotRunMetrics(simulation, server, results);
+  result.metrics = SnapshotRunMetrics(simulation, server, results, session);
   FillChannelShape(server, &result);
   return result;
 }
@@ -234,18 +373,39 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
 ReplicationResult RunReplication(const BroadcastServer& server,
                                  const Dataset& dataset,
                                  const TestbedConfig& config,
-                                 std::uint64_t replication_seed) {
+                                 std::uint64_t replication_seed,
+                                 const ZipfDistribution* shared_zipf) {
   // Mirrors RunTestbed's simulation stage for exactly one round: the
   // replication draws its own request stream from `replication_seed`,
   // generates `requests_per_round` arrivals, and drains the event queue
   // so every generated request completes.
   Rng master(replication_seed);
-  RequestGenerator generator(&dataset, config.data_availability,
-                             config.mean_request_interval_bytes,
-                             master.Split(), config.zipf_theta);
+  RequestGenerator generator(
+      &dataset, config.data_availability,
+      config.mean_request_interval_bytes, master.Split(), config.zipf_theta,
+      shared_zipf,
+      SessionWorkload{config.client.session_length,
+                      config.client.repeat_probability});
   Rng error_rng = master.Split();
   const bool unreliable = config.error_model.bucket_error_rate > 0.0;
   ResultHandler results;
+
+  // Per-replication client state: the session cache is rebuilt and
+  // re-warmed from this replication's own stream, so the result stays a
+  // pure function of (server, dataset, config, replication_seed) and
+  // --jobs bit-identity holds.
+  ServerFetcher fetcher{&server, &config, &error_rng, unreliable};
+  std::optional<SessionClient> session_storage;
+  if (config.client.cache_capacity > 0) {
+    session_storage.emplace(
+        &dataset, BuildSessionParams(config, server),
+        SessionFrequencies(server, dataset.size(),
+                           config.client.cache_policy),
+        &fetcher);
+    WarmSessionCache(&*session_storage, &generator,
+                     config.client.warmup_queries);
+  }
+  SessionClient* session = session_storage ? &*session_storage : nullptr;
 
   Simulation simulation;
   int generated = 0;
@@ -253,13 +413,16 @@ ReplicationResult RunReplication(const BroadcastServer& server,
     auto on_arrival = [&]() {
       ++generated;
       const Query query = generator.NextQuery();
-      const AccessResult access = ApplyDeadline(
-          unreliable
-              ? AccessWithErrors(server.scheme(), query.key,
-                                 simulation.now(), config.error_model,
-                                 &error_rng)
-              : server.Listen(query.key, simulation.now()),
-          config.deadline);
+      const AccessResult access =
+          session != nullptr
+              ? session->Access(query.key, simulation.now())
+              : ApplyDeadline(
+                    unreliable
+                        ? AccessWithErrors(server.scheme(), query.key,
+                                           simulation.now(),
+                                           config.error_model, &error_rng)
+                        : server.Listen(query.key, simulation.now()),
+                    config.deadline);
       auto on_completion = [&, access, on_air = query.on_air]() {
         results.Add(access, on_air);
       };
@@ -289,7 +452,8 @@ ReplicationResult RunReplication(const BroadcastServer& server,
   replication.false_drops = results.false_drops();
   replication.anomalies = results.anomalies();
   replication.outcome_mismatches = results.outcome_mismatches();
-  replication.metrics = SnapshotRunMetrics(simulation, server, results);
+  replication.metrics =
+      SnapshotRunMetrics(simulation, server, results, session);
   const ResultHandler::RoundStats round = results.CloseRound();
   replication.round_access_mean = round.access_mean;
   replication.round_tuning_mean = round.tuning_mean;

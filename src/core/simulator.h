@@ -10,6 +10,7 @@
 #include "core/broadcast_server.h"
 #include "core/metrics.h"
 #include "core/testbed_config.h"
+#include "des/zipf.h"
 #include "stats/confidence.h"
 #include "stats/histogram.h"
 #include "stats/running_stats.h"
@@ -124,11 +125,21 @@ struct ReplicationResult {
 /// `replication_seed` should come from ReplicationSeed(master, id)
 /// (des/random.h). Thread-safe for concurrent calls on the same server
 /// and dataset: the access protocols are pure reads of the channel, and
-/// all mutable state (RNG, event queue, accumulators) is local.
+/// all mutable state (RNG, event queue, accumulators — including the
+/// session client's cache, when one is configured) is local.
+///
+/// `shared_zipf`, when non-null, must be a ZipfDistribution built for
+/// (dataset.size(), config.zipf_theta); the replication samples it
+/// instead of rebuilding the O(n) table. The replication engine hoists
+/// one table per (n, theta) across replications and sweep cells; null
+/// keeps the self-contained behaviour (a locally built, identical
+/// table).
 ReplicationResult RunReplication(const BroadcastServer& server,
                                  const Dataset& dataset,
                                  const TestbedConfig& config,
-                                 std::uint64_t replication_seed);
+                                 std::uint64_t replication_seed,
+                                 const ZipfDistribution* shared_zipf =
+                                     nullptr);
 
 }  // namespace airindex
 

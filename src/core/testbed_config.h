@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "broadcast/geometry.h"
+#include "client/client_cache.h"
 #include "core/deadline.h"
 #include "core/error_model.h"
 #include "data/dataset.h"
@@ -63,6 +64,12 @@ struct TestbedConfig {
   int min_rounds = 100;
   /// Hard cap on rounds, for runtime safety.
   int max_rounds = 400;
+
+  /// Stateful-client extension (see client/client_cache.h): cache
+  /// capacity/policy, session workload and server update rate. The
+  /// default (cache_capacity 0) bypasses the session wrapper entirely
+  /// and reproduces the paper's stateless client byte-identically.
+  ClientSessionConfig client;
 
   /// Unreliable-channel model (extension; see core/error_model.h).
   /// A zero error rate reproduces the paper's lossless channel.

@@ -222,6 +222,44 @@ TEST(BenchCompareTest, StrictCountersValidateChannelAccounting) {
       CompareBenchReports(base, negative_tuning, strict).passed());
 }
 
+TEST(BenchCompareTest, SessionAccountingGatedUnderStrict) {
+  CompareOptions strict;
+  strict.strict_counters = true;
+
+  BenchReport base = BaseReport();
+  base.counters.Increment("client.session_queries", 1000);
+  base.counters.Increment("client.cache_hits", 400);
+  base.counters.Increment("client.cache_misses", 600);
+  base.counters.Increment("client.cache_invalidations", 50);
+  base.counters.Increment("client.cache_hit_bytes", 0);
+  const CompareResult ok = CompareBenchReports(base, base, strict);
+  EXPECT_TRUE(ok.passed()) << (ok.failures.empty() ? "" : ok.failures[0]);
+
+  // A query must resolve as exactly one hit or one miss.
+  BenchReport unbalanced = base;
+  unbalanced.counters.Increment("client.cache_hits", 1);  // 400 -> 401
+  EXPECT_FALSE(
+      CompareBenchReports(unbalanced, unbalanced, strict).passed());
+  // ...gated only under --strict-counters.
+  EXPECT_TRUE(
+      CompareBenchReports(unbalanced, unbalanced, CompareOptions{}).passed());
+
+  // A fresh hit never moves broadcast bytes.
+  BenchReport hit_bytes = base;
+  hit_bytes.counters.Increment("client.cache_hit_bytes", 128);
+  EXPECT_FALSE(CompareBenchReports(hit_bytes, hit_bytes, strict).passed());
+
+  // An invalidation is a kind of miss.
+  BenchReport inverted = base;
+  inverted.counters.Increment("client.cache_invalidations", 600);  // > misses
+  EXPECT_FALSE(CompareBenchReports(inverted, inverted, strict).passed());
+
+  // Negative counters are corrupt reports.
+  BenchReport negative = base;
+  negative.counters.Increment("client.cache_evictions", -3);
+  EXPECT_FALSE(CompareBenchReports(negative, negative, strict).passed());
+}
+
 TEST(BenchCompareTest, StrictCountersDetectDrift) {
   const BenchReport base = BaseReport();
   BenchReport cand = BaseReport();

@@ -1,0 +1,341 @@
+// Tests of the stateful client subsystem (src/client): ClientCache
+// eviction semantics per policy, SessionClient counter invariants,
+// sim-vs-model consistency against analytical/client_model.h (mirroring
+// multichannel_model_test.cc for the multichannel formulas), PIX/LFU
+// equivalence under a uniform broadcast and separation under broadcast
+// disks, --jobs bit-identity with per-replication client state, and the
+// cache-capacity-0 bypass that keeps stateless-client runs untouched.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytical/client_model.h"
+#include "analytical/models.h"
+#include "client/client_cache.h"
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+namespace {
+
+// ---------------------------------------------------------------------
+// ClientCache unit tests. Keys alias caller-owned storage, so the tests
+// use string literals (static storage) throughout.
+// ---------------------------------------------------------------------
+
+TEST(ClientCache, LruEvictsLeastRecentlyUsed) {
+  ClientCache cache(2, CachePolicy::kLru, 3);
+  cache.Insert("a", 0, 0);
+  cache.Insert("b", 1, 0);
+  ASSERT_NE(cache.Find("a"), nullptr);  // refreshes a's recency past b's
+  cache.Insert("c", 2, 0);
+  EXPECT_EQ(cache.Find("b"), nullptr);
+  EXPECT_NE(cache.Find("a"), nullptr);
+  EXPECT_NE(cache.Find("c"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(ClientCache, LfuEvictsLowestCountAndCountsPersist) {
+  ClientCache cache(2, CachePolicy::kLfu, 3);
+  for (int i = 0; i < 3; ++i) cache.RecordAccess(0);
+  cache.RecordAccess(1);
+  cache.RecordAccess(2);
+  cache.RecordAccess(2);
+  cache.Insert("a", 0, 0);
+  cache.Insert("b", 1, 0);
+  cache.Insert("c", 2, 0);  // b has the lowest count (1)
+  EXPECT_EQ(cache.Find("b"), nullptr);
+  EXPECT_NE(cache.Find("a"), nullptr);
+  EXPECT_NE(cache.Find("c"), nullptr);
+
+  // Perfect LFU: b's count survived its eviction, so after more
+  // accesses b re-enters by evicting c (count 4 vs 2), not on a reset
+  // count.
+  for (int i = 0; i < 3; ++i) cache.RecordAccess(1);
+  EXPECT_EQ(cache.access_count(1), 4);
+  cache.Insert("b", 1, 0);
+  EXPECT_EQ(cache.Find("c"), nullptr);
+  EXPECT_NE(cache.Find("a"), nullptr);
+  EXPECT_NE(cache.Find("b"), nullptr);
+}
+
+TEST(ClientCache, PixWeighsCountsByBroadcastFrequency) {
+  // Record 0 is popular but broadcast 4x per unit time (cheap to
+  // refetch): PIX score 3/4 < 2/1, so PIX evicts record 0 where LFU
+  // would evict record 1.
+  const std::vector<double> frequencies = {4.0, 1.0, 2.0};
+  ClientCache pix(2, CachePolicy::kPix, 3, frequencies);
+  for (int i = 0; i < 3; ++i) pix.RecordAccess(0);
+  pix.RecordAccess(1);
+  pix.RecordAccess(1);
+  pix.RecordAccess(2);
+  pix.Insert("a", 0, 0);
+  pix.Insert("b", 1, 0);
+  pix.Insert("c", 2, 0);
+  EXPECT_EQ(pix.Find("a"), nullptr);
+  EXPECT_NE(pix.Find("b"), nullptr);
+
+  ClientCache lfu(2, CachePolicy::kLfu, 3);
+  for (int i = 0; i < 3; ++i) lfu.RecordAccess(0);
+  lfu.RecordAccess(1);
+  lfu.RecordAccess(1);
+  lfu.RecordAccess(2);
+  lfu.Insert("a", 0, 0);
+  lfu.Insert("b", 1, 0);
+  lfu.Insert("c", 2, 0);
+  EXPECT_EQ(lfu.Find("b"), nullptr);
+  EXPECT_NE(lfu.Find("a"), nullptr);
+}
+
+TEST(ClientCache, InsertRefreshesExistingEntry) {
+  ClientCache cache(2, CachePolicy::kLru, 2);
+  cache.Insert("a", 0, 1);
+  cache.Insert("a", 0, 5);
+  EXPECT_EQ(cache.size(), 1);
+  ASSERT_NE(cache.Find("a"), nullptr);
+  EXPECT_EQ(cache.Find("a")->version, 5);
+  EXPECT_EQ(cache.evictions(), 0);
+}
+
+TEST(ClientCache, EraseKeepsRemainingEntriesFindable) {
+  ClientCache cache(3, CachePolicy::kLru, 4);
+  cache.Insert("a", 0, 0);
+  cache.Insert("b", 1, 0);
+  cache.Insert("c", 2, 0);
+  cache.Erase("b");  // swaps the last slot into the hole
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.Find("b"), nullptr);
+  EXPECT_NE(cache.Find("a"), nullptr);
+  EXPECT_NE(cache.Find("c"), nullptr);
+  cache.Insert("d", 3, 0);
+  EXPECT_NE(cache.Find("d"), nullptr);
+  EXPECT_EQ(cache.evictions(), 0);
+}
+
+TEST(ClientCache, ParsePolicyRoundTrips) {
+  for (const CachePolicy policy :
+       {CachePolicy::kLru, CachePolicy::kLfu, CachePolicy::kPix}) {
+    CachePolicy parsed = CachePolicy::kLru;
+    EXPECT_TRUE(ParseCachePolicy(CachePolicyToString(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  CachePolicy untouched = CachePolicy::kPix;
+  EXPECT_FALSE(ParseCachePolicy("mru", &untouched));
+  EXPECT_EQ(untouched, CachePolicy::kPix);
+}
+
+// ---------------------------------------------------------------------
+// Simulation vs closed-form model (the fig_client_cache settings).
+// ---------------------------------------------------------------------
+
+constexpr int kNumRecords = 4000;
+
+TestbedConfig ClientConfig(CachePolicy policy, int capacity,
+                           double update_rate) {
+  TestbedConfig config;
+  config.scheme = SchemeKind::kOneM;
+  config.num_records = kNumRecords;
+  config.zipf_theta = 0.9;
+  config.client.cache_capacity = capacity;
+  config.client.cache_policy = policy;
+  config.client.session_length = 8;
+  config.client.repeat_probability = 0.25;
+  config.client.update_rate = update_rate;
+  config.client.warmup_queries = std::max(1000, 4 * capacity);
+  config.min_rounds = 10;
+  config.max_rounds = 40;
+  config.seed = 20260806;
+  return config;
+}
+
+SimulationResult RunConfig(const TestbedConfig& config, int jobs = 1) {
+  ParallelExperiment experiment({.jobs = jobs});
+  auto run = experiment.Run(config);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return run.value();
+}
+
+/// The bench's closed-form estimate for one (config, cycle) pair.
+ClientSessionEstimate ModelFor(const TestbedConfig& config,
+                               Bytes cycle_bytes) {
+  const std::vector<double> popularity =
+      ZipfPopularity(config.num_records, config.zipf_theta);
+  ClientSessionModelInputs inputs;
+  inputs.popularity = popularity;
+  inputs.residency = config.client.cache_policy == CachePolicy::kLru
+                         ? CheLruResidency(popularity,
+                                           config.client.cache_capacity)
+                         : TopScoreResidency(popularity,
+                                             config.client.cache_capacity);
+  if (config.client.update_rate > 0.0) {
+    const auto period = static_cast<Bytes>(
+        std::llround(static_cast<double>(cycle_bytes) /
+                     config.client.update_rate));
+    inputs.freshness =
+        SteadyStateFreshness(popularity, config.data_availability,
+                             config.mean_request_interval_bytes, period);
+    inputs.repeat_freshness =
+        RepeatFreshness(config.mean_request_interval_bytes, period);
+    inputs.validation_bytes =
+        static_cast<double>(config.geometry.signature_bytes);
+  }
+  inputs.availability = config.data_availability;
+  inputs.session_length = config.client.session_length;
+  inputs.repeat_probability = config.client.repeat_probability;
+  const AnalyticalEstimate base = OneMModelExact(
+      config.num_records, config.geometry,
+      OneMOptimalMExact(config.num_records, config.geometry));
+  inputs.miss_access_bytes = base.access_time;
+  inputs.miss_tuning_bytes = base.tuning_time;
+  return ComposeClientSessionModel(inputs);
+}
+
+double HitRatio(const SimulationResult& sim) {
+  const auto queries =
+      static_cast<double>(sim.metrics.Get("client.session_queries"));
+  return queries > 0.0
+             ? static_cast<double>(sim.metrics.Get("client.cache_hits")) /
+                   queries
+             : 0.0;
+}
+
+TEST(ClientModel, LruSimTracksCheApproximation) {
+  for (const int capacity : {64, 256}) {
+    SCOPED_TRACE("capacity " + std::to_string(capacity));
+    const TestbedConfig config =
+        ClientConfig(CachePolicy::kLru, capacity, 0.0);
+    const SimulationResult sim = RunConfig(config);
+    const ClientSessionEstimate model = ModelFor(config, sim.cycle_bytes);
+    EXPECT_NEAR(HitRatio(sim), model.hit_ratio, 0.03);
+    EXPECT_NEAR(sim.access.mean() / model.access_bytes, 1.0, 0.05);
+    EXPECT_NEAR(sim.tuning.mean() / model.tuning_bytes, 1.0, 0.05);
+  }
+}
+
+TEST(ClientModel, LfuSimTracksTopScoreResidency) {
+  // The sharp top-C residency is an upper bound the finite-sample LFU
+  // approaches from below (counts near the capacity boundary stay
+  // noisy), so the band is wider than LRU's and one-sided-ish.
+  const TestbedConfig config = ClientConfig(CachePolicy::kLfu, 64, 0.0);
+  const SimulationResult sim = RunConfig(config);
+  const ClientSessionEstimate model = ModelFor(config, sim.cycle_bytes);
+  EXPECT_NEAR(HitRatio(sim), model.hit_ratio, 0.10);
+  EXPECT_LE(HitRatio(sim), model.hit_ratio + 0.02);
+  EXPECT_NEAR(sim.access.mean() / model.access_bytes, 1.0, 0.15);
+}
+
+TEST(ClientModel, UpdateRateTracksFreshnessModel) {
+  const TestbedConfig config = ClientConfig(CachePolicy::kLru, 64, 4.0);
+  const SimulationResult sim = RunConfig(config);
+  const ClientSessionEstimate model = ModelFor(config, sim.cycle_bytes);
+  EXPECT_NEAR(HitRatio(sim), model.hit_ratio, 0.05);
+  EXPECT_NEAR(sim.access.mean() / model.access_bytes, 1.0, 0.08);
+  EXPECT_NEAR(sim.tuning.mean() / model.tuning_bytes, 1.0, 0.08);
+  EXPECT_GT(sim.metrics.Get("client.cache_invalidations"), 0);
+  EXPECT_GT(sim.metrics.Get("client.cache_validation_bytes"), 0);
+}
+
+TEST(ClientModel, SessionCounterInvariantsHold) {
+  for (const double update_rate : {0.0, 4.0}) {
+    SCOPED_TRACE("update rate " + std::to_string(update_rate));
+    const SimulationResult sim =
+        RunConfig(ClientConfig(CachePolicy::kLru, 64, update_rate));
+    const std::int64_t queries =
+        sim.metrics.Get("client.session_queries");
+    const std::int64_t hits = sim.metrics.Get("client.cache_hits");
+    const std::int64_t misses = sim.metrics.Get("client.cache_misses");
+    EXPECT_GT(queries, 0);
+    EXPECT_EQ(hits + misses, queries);
+    EXPECT_EQ(sim.metrics.Get("client.cache_hit_bytes"), 0);
+    EXPECT_LE(sim.metrics.Get("client.cache_invalidations"), misses);
+    EXPECT_GT(sim.metrics.Get("client.cache_warm_inserts"), 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Policy separation and determinism.
+// ---------------------------------------------------------------------
+
+void ExpectIdenticalRuns(const SimulationResult& a,
+                         const SimulationResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.access.count(), b.access.count());
+  EXPECT_EQ(a.access.mean(), b.access.mean());
+  EXPECT_EQ(a.access.variance(), b.access.variance());
+  EXPECT_EQ(a.tuning.mean(), b.tuning.mean());
+  EXPECT_EQ(a.tuning.variance(), b.tuning.variance());
+  EXPECT_EQ(a.access_histogram.p99(), b.access_histogram.p99());
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_TRUE(a.metrics == b.metrics);
+}
+
+TEST(ClientPolicy, PixDegeneratesToLfuUnderUniformBroadcast) {
+  // (1,m) broadcasts every record exactly once per cycle, so the PIX
+  // denominator is uniform and the two policies must make identical
+  // decisions — bit-identical runs, not merely close ones.
+  const SimulationResult lfu =
+      RunConfig(ClientConfig(CachePolicy::kLfu, 64, 0.0));
+  const SimulationResult pix =
+      RunConfig(ClientConfig(CachePolicy::kPix, 64, 0.0));
+  ExpectIdenticalRuns(lfu, pix);
+}
+
+TEST(ClientPolicy, PixBeatsLfuOnBroadcastDisks) {
+  // PIX pays off when client popularity and disk layout disagree
+  // (Acharya et al.'s mismatch region). Under a uniform workload on
+  // broadcast disks, LFU's counts are noise, so it pins an arbitrary
+  // recent subset spanning all disks — while PIX deterministically
+  // spends every slot on slow-disk records, whose refetch costs 4x a
+  // hot-disk record's. Same hit ratio, strictly cheaper misses.
+  TestbedConfig lfu_config = ClientConfig(CachePolicy::kLfu, 256, 0.0);
+  lfu_config.scheme = SchemeKind::kBroadcastDisks;
+  lfu_config.zipf_theta = 0.0;
+  TestbedConfig pix_config = lfu_config;
+  pix_config.client.cache_policy = CachePolicy::kPix;
+  const SimulationResult lfu = RunConfig(lfu_config);
+  const SimulationResult pix = RunConfig(pix_config);
+  EXPECT_LT(pix.access.mean(), lfu.access.mean())
+      << "pix " << pix.access.mean() << " vs lfu " << lfu.access.mean();
+}
+
+TEST(ClientDeterminism, JobsBitIdentityWithSessionState) {
+  const TestbedConfig config = ClientConfig(CachePolicy::kLru, 64, 4.0);
+  const SimulationResult serial = RunConfig(config, 1);
+  for (const int jobs : {4, 8}) {
+    SCOPED_TRACE("jobs " + std::to_string(jobs));
+    ExpectIdenticalRuns(serial, RunConfig(config, jobs));
+  }
+}
+
+TEST(ClientBypass, ZeroCapacityMatchesStatelessClient) {
+  // Explicit session knobs with capacity 0 must leave every statistic
+  // and every metric byte-identical with the default stateless config:
+  // the wrapper is bypassed, not run with an empty cache.
+  TestbedConfig stateless;
+  stateless.scheme = SchemeKind::kOneM;
+  stateless.num_records = 1000;
+  stateless.min_rounds = 5;
+  stateless.max_rounds = 20;
+  stateless.seed = 99;
+  TestbedConfig zero_capacity = stateless;
+  zero_capacity.client.cache_policy = CachePolicy::kPix;
+  zero_capacity.client.session_length = 8;
+  zero_capacity.client.repeat_probability = 0.0;
+  zero_capacity.client.update_rate = 4.0;
+  zero_capacity.client.warmup_queries = 500;
+  const SimulationResult a = RunConfig(stateless);
+  const SimulationResult b = RunConfig(zero_capacity);
+  ExpectIdenticalRuns(a, b);
+  EXPECT_FALSE(b.metrics.Has("client.session_queries"));
+}
+
+}  // namespace
+}  // namespace airindex

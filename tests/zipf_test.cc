@@ -1,10 +1,17 @@
-// Unit tests for the Zipf request-popularity sampler.
+// Unit tests for the Zipf request-popularity sampler: shape and ratio
+// checks, a chi-square goodness-of-fit gate across skews, and the
+// shared-table identity that lets the replication engine hoist one
+// ZipfDistribution across a sweep cell (see Experiment::ZipfFor).
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
 #include "des/random.h"
 #include "des/zipf.h"
 
@@ -65,6 +72,109 @@ TEST(Zipf, SingleRank) {
   Rng rng(1);
   EXPECT_EQ(zipf.Sample(&rng), 0);
   EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+TEST(Zipf, ChiSquareGoodnessOfFit) {
+  // Pearson chi-square against the stated probabilities, gated at the
+  // 99.9% point of chi-square(df) via the Wilson-Hilferty approximation
+  // X2_p(df) ~ df * (1 - 2/(9 df) + z_p * sqrt(2/(9 df)))^3.
+  constexpr int kRanks = 200;
+  constexpr int kDraws = 100000;
+  constexpr std::uint64_t kSeed = 20260806;
+  for (const double theta : {0.0, 0.8, 1.2}) {
+    SCOPED_TRACE("theta " + std::to_string(theta) + ", seed " +
+                 std::to_string(kSeed));
+    const ZipfDistribution zipf(kRanks, theta);
+    Rng rng(kSeed);
+    std::vector<int> counts(kRanks, 0);
+    for (int i = 0; i < kDraws; ++i) {
+      ++counts[static_cast<std::size_t>(zipf.Sample(&rng))];
+    }
+    // Merge the sparse tail into one bin so every expected count is at
+    // least 5 (the usual chi-square validity rule).
+    double statistic = 0.0;
+    int bins = 0;
+    double tail_expected = 0.0;
+    int tail_observed = 0;
+    for (int k = 0; k < kRanks; ++k) {
+      const double expected = zipf.Probability(k) * kDraws;
+      if (expected >= 5.0) {
+        const double diff = counts[static_cast<std::size_t>(k)] - expected;
+        statistic += diff * diff / expected;
+        ++bins;
+      } else {
+        tail_expected += expected;
+        tail_observed += counts[static_cast<std::size_t>(k)];
+      }
+    }
+    if (tail_expected > 0.0) {
+      const double diff = tail_observed - tail_expected;
+      statistic += diff * diff / tail_expected;
+      ++bins;
+    }
+    const double df = bins - 1;
+    const double z = 3.0902;  // 99.9% standard-normal quantile
+    const double critical =
+        df * std::pow(1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df)),
+                      3.0);
+    EXPECT_LT(statistic, critical)
+        << "chi-square " << statistic << " over " << df << " df";
+  }
+}
+
+TEST(Zipf, SharedTableMatchesLocallyBuiltTable) {
+  // The replication engine passes one shared ZipfDistribution to every
+  // replication of a sweep cell; a replication that builds its own
+  // table must produce bit-identical results, or the hoist would change
+  // simulated output.
+  TestbedConfig config;
+  config.scheme = SchemeKind::kOneM;
+  config.num_records = 800;
+  config.zipf_theta = 0.9;
+  config.min_rounds = 3;
+  config.max_rounds = 10;
+  config.seed = 4242;
+  const auto dataset = BuildTestbedDataset(config).value();
+  const BroadcastServer server =
+      BroadcastServer::Create(config.scheme, dataset, config.geometry,
+                              config.params)
+          .value();
+  const ZipfDistribution shared(config.num_records, config.zipf_theta);
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    SCOPED_TRACE("replication " + std::to_string(id));
+    const std::uint64_t seed = ReplicationSeed(config.seed, id);
+    const ReplicationResult local =
+        RunReplication(server, *dataset, config, seed);
+    const ReplicationResult hoisted =
+        RunReplication(server, *dataset, config, seed, &shared);
+    EXPECT_EQ(local.access.count(), hoisted.access.count());
+    EXPECT_EQ(local.access.mean(), hoisted.access.mean());
+    EXPECT_EQ(local.tuning.mean(), hoisted.tuning.mean());
+    EXPECT_EQ(local.found, hoisted.found);
+  }
+}
+
+TEST(Zipf, SweepJobsBitIdentityWithSkew) {
+  // The hoisted table must also keep the --jobs guarantee: a skewed
+  // sweep merged by 1 and by 4 workers reports identical statistics.
+  TestbedConfig config;
+  config.scheme = SchemeKind::kOneM;
+  config.num_records = 600;
+  config.zipf_theta = 1.1;
+  config.min_rounds = 4;
+  config.max_rounds = 16;
+  config.seed = 31337;
+  ParallelExperiment serial({.jobs = 1});
+  ParallelExperiment parallel({.jobs = 4});
+  const auto a = serial.RunSweep({config, config});
+  const auto b = parallel.RunSweep({config, config});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok() && b[i].ok());
+    EXPECT_EQ(a[i].value().access.mean(), b[i].value().access.mean());
+    EXPECT_EQ(a[i].value().tuning.mean(), b[i].value().tuning.mean());
+    EXPECT_EQ(a[i].value().requests, b[i].value().requests);
+  }
 }
 
 }  // namespace

@@ -198,6 +198,69 @@ CompareResult CompareBenchReports(const BenchReport& baseline,
         }
       }
     }
+    // Session-cache accounting of stateful-client runs. Every session
+    // query resolves as exactly one fresh hit or one miss (stale
+    // revalidations count as misses), a fresh hit never moves broadcast
+    // bytes, and an invalidation is a kind of miss — so a report that
+    // violates any of these is corrupt, not drifted.
+    for (const BenchReport* report : {&baseline, &candidate}) {
+      if (!report->counters.Has("client.session_queries")) continue;
+      const char* side = report == &baseline ? "baseline" : "candidate";
+      const std::int64_t queries =
+          report->counters.Get("client.session_queries");
+      const std::int64_t hits = report->counters.Get("client.cache_hits");
+      const std::int64_t misses = report->counters.Get("client.cache_misses");
+      const std::int64_t invalidations =
+          report->counters.Get("client.cache_invalidations");
+      for (const char* name :
+           {"client.session_queries", "client.cache_hits",
+            "client.cache_misses", "client.cache_validation_bytes",
+            "client.cache_invalidations", "client.cache_evictions",
+            "client.cache_warm_inserts"}) {
+        if (report->counters.Get(name) < 0) {
+          result.failures.push_back(std::string(side) + " counter '" + name +
+                                    "' is negative: " +
+                                    std::to_string(report->counters.Get(name)));
+        }
+      }
+      if (hits + misses != queries) {
+        result.failures.push_back(
+            std::string(side) +
+            " session accounting is inconsistent: cache_hits " +
+            std::to_string(hits) + " + cache_misses " +
+            std::to_string(misses) + " != session_queries " +
+            std::to_string(queries));
+      }
+      if (report->counters.Get("client.cache_hit_bytes") != 0) {
+        result.failures.push_back(
+            std::string(side) +
+            " session accounting is inconsistent: cache_hit_bytes " +
+            std::to_string(report->counters.Get("client.cache_hit_bytes")) +
+            " != 0 (a fresh hit moves no broadcast bytes)");
+      }
+      if (invalidations > misses) {
+        result.failures.push_back(
+            std::string(side) +
+            " session accounting is inconsistent: cache_invalidations " +
+            std::to_string(invalidations) + " > cache_misses " +
+            std::to_string(misses));
+      }
+    }
+    if (baseline.counters.Has("client.session_queries") ||
+        candidate.counters.Has("client.session_queries")) {
+      result.notes.push_back(
+          "session cache: hits " +
+          std::to_string(baseline.counters.Get("client.cache_hits")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("client.cache_hits")) +
+          ", invalidations " +
+          std::to_string(
+              baseline.counters.Get("client.cache_invalidations")) +
+          " -> " +
+          std::to_string(
+              candidate.counters.Get("client.cache_invalidations")));
+    }
+
     if (baseline.counters.Has("client.channel_hops") ||
         candidate.counters.Has("client.channel_hops")) {
       result.notes.push_back(

@@ -29,7 +29,10 @@ struct CompareOptions {
   /// Multichannel runs get the same treatment: the channel-hop and
   /// switch-byte counters of both reports must be internally consistent
   /// (non-negative, no dead air without hops, no negative per-channel
-  /// tuning split), and their drift is surfaced as a note.
+  /// tuning split), and their drift is surfaced as a note. Stateful-client
+  /// runs likewise: cache_hits + cache_misses must equal session_queries,
+  /// cache_hit_bytes must be zero (a fresh hit moves no broadcast bytes),
+  /// and invalidations can never exceed misses.
   bool strict_counters = false;
 };
 

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the scheme and broadcast layers, run by the CI
-# coverage job after a ctest pass of an AIRINDEX_COVERAGE=ON build.
+# Line-coverage gate for the scheme, broadcast and client layers, run by
+# the CI coverage job after a ctest pass of an AIRINDEX_COVERAGE=ON
+# build.
 #
 # Walks the .gcda files gcov instrumentation left in the build tree,
 # merges line coverage per source line across all translation units
 # (headers are counted once, template instances folded together),
-# aggregates over src/schemes/ and src/broadcast/ (the layers every
-# protocol walk exercises, and the ones this repo's correctness rests
-# on), emits an lcov-format tracefile for the CI artifact, and fails
-# when the aggregate line coverage of either layer drops below the
-# floor.
+# aggregates over src/schemes/, src/broadcast/ and src/client/ (the
+# layers every protocol walk exercises, and the ones this repo's
+# correctness rests on), emits an lcov-format tracefile for the CI
+# artifact, and fails when the aggregate line coverage of any layer
+# drops below the floor.
 #
 # Implemented on plain `gcov` text output so it runs anywhere gcc does —
 # no lcov/gcovr dependency.
@@ -94,7 +95,7 @@ if [ -n "$lcov_out" ]; then
 fi
 
 status=0
-for layer in src/schemes src/broadcast; do
+for layer in src/schemes src/broadcast src/client; do
   read -r covered total < <(awk -F '\t' -v prefix="$root/$layer/" '
     index($1, prefix) == 1 {
       total += 1
