@@ -108,6 +108,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-warmup") == 0) {
       options.client.warmup_queries =
           ParseIntArg(argc, argv, &i, "--cache-warmup");
+    } else if (std::strcmp(argv[i], "--fleet-size") == 0) {
+      options.fleet_size = ParseIntArg(argc, argv, &i, "--fleet-size");
     } else if (std::strcmp(argv[i], "--allocation") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--allocation requires a strategy name\n");
@@ -205,6 +207,10 @@ BenchPoint& BenchReporter::AddSimulationPoint(
 
 void BenchReporter::AddPoint(BenchPoint point) {
   report_.points.push_back(std::move(point));
+}
+
+void BenchReporter::MergeCounters(const MetricsRegistry& metrics) {
+  report_.counters.Merge(metrics);
 }
 
 Status BenchReporter::Finish(const RunTiming& timing) {

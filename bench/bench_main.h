@@ -31,6 +31,10 @@
 //                  are validated against the broadcast and refetched
 //                  when stale)
 //   --cache-warmup N warmup queries before measurement (steady state)
+//   --fleet-size N   population size for fleet-mode benches (fig_fleet):
+//                  N clients share one broadcast cycle via the batched
+//                  struct-of-arrays engine (client/fleet.h). 0 = the
+//                  bench's own size grid; single-client benches ignore it
 //
 // BenchReporter accumulates the report while the bench prints its usual
 // tables, then writes the JSON file on Finish() when --json was given.
@@ -38,6 +42,7 @@
 #ifndef AIRINDEX_BENCH_BENCH_MAIN_H_
 #define AIRINDEX_BENCH_BENCH_MAIN_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -67,6 +72,8 @@ struct BenchOptions {
   /// stateless client, ApplyWorkloadOptions stays a no-op for them, and
   /// reports stay byte-identical with pre-client baselines.
   ClientSessionConfig client;
+  /// --fleet-size; 0 means "use the fleet bench's own size grid".
+  std::int64_t fleet_size = 0;
 };
 
 /// Parses the shared flags, ignoring anything it does not recognise (so a
@@ -106,6 +113,11 @@ class BenchReporter {
 
   /// Adds a fully-specified point (derived scalars, walltime metrics).
   void AddPoint(BenchPoint point);
+
+  /// Folds a run's registry into the report's counter totals — for
+  /// benches whose points are not built by AddSimulationPoint (the fleet
+  /// engine reports through core/fleet_runner.h, not SimulationResult).
+  void MergeCounters(const MetricsRegistry& metrics);
 
   /// Writes the JSON report when --json was given; no-op otherwise.
   /// Returns the write status so the driver can fail loudly.

@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_main.h"
+#include "client/fleet.h"
 #include "core/simulator.h"
 #include "data/dataset.h"
 #include "des/event_queue.h"
@@ -93,6 +94,38 @@ void BM_RunReplication(benchmark::State& state, SchemeKind kind) {
   state.SetItemsProcessed(state.iterations() * config.requests_per_round);
 }
 
+/// Fleet hot path: one shard of the struct-of-arrays population engine
+/// (client/fleet.h) advanced through all of its queries against a
+/// pre-built (1,m) channel. Items processed = clients, so
+/// google-benchmark's items/s column reads directly as clients per
+/// second — the figure to hold against BM_RunReplication's requests/s
+/// when sizing a fleet sweep.
+void BM_FleetShard(benchmark::State& state) {
+  TestbedConfig config;
+  config.scheme = SchemeKind::kOneM;
+  config.num_records = 4000;
+  config.seed = 7;
+  const auto dataset = BuildTestbedDataset(config).value();
+  const auto server =
+      BroadcastServer::Create(config.scheme, dataset, config.geometry,
+                              config.params)
+          .value();
+  FleetParams params;
+  params.fleet_size = state.range(0);
+  params.queries_per_client = 8;
+  params.cache_capacity = 64;
+  params.session_length = 4;
+  params.repeat_probability = 0.25;
+  params.zipf_theta = 0.9;
+  params.seed = 7;
+  const ZipfDistribution zipf(dataset->size(), params.zipf_theta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunFleetShard(server.scheme(), *dataset, params,
+                                           0, params.fleet_size, &zipf));
+  }
+  state.SetItemsProcessed(state.iterations() * params.fleet_size);
+}
+
 void BM_RngUint64(benchmark::State& state) {
   Rng rng(9);
   for (auto _ : state) {
@@ -127,6 +160,8 @@ BENCHMARK_CAPTURE(BM_RunReplication, distributed, SchemeKind::kDistributed)
     ->Arg(7000);
 BENCHMARK_CAPTURE(BM_RunReplication, signature, SchemeKind::kSignature)
     ->Arg(7000);
+
+BENCHMARK(BM_FleetShard)->Arg(1000)->Arg(10000);
 
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_RngUint64);

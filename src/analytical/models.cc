@@ -147,6 +147,41 @@ AnalyticalEstimate OneMModelExact(int num_records,
   return estimate;
 }
 
+double OneMFleetAccessQuantile(int num_records,
+                               const BucketGeometry& geometry, int m,
+                               double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto dt = static_cast<double>(geometry.data_bucket_bytes());
+  const BTreeLevelCounts levels =
+      ComputeBTreeLevels(num_records, geometry.index_fanout());
+  double index_buckets = 0;
+  for (const long long c : levels.count_at_depth) {
+    index_buckets += static_cast<double>(c);
+  }
+  const auto nr = static_cast<double>(num_records);
+  // Segment wait a = U(0, S), data wait b = U(0, C); a <= b since a
+  // segment never exceeds the cycle (m >= 1).
+  const double a =
+      (index_buckets + nr / static_cast<double>(m)) * dt;
+  const double b = (static_cast<double>(m) * index_buckets + nr) * dt;
+  // Shift so the trapezoid's mean (a + b) / 2 lands on the exact model
+  // mean: the residue is the phase-independent part of the walk.
+  const double shift =
+      OneMModelExact(num_records, geometry, m).access_time -
+      0.5 * (a + b);
+  double z;
+  if (a <= 0.0) {
+    z = q * b;  // degenerate: single uniform
+  } else if (q <= 0.5 * a / b) {
+    z = std::sqrt(2.0 * a * b * q);  // rising edge
+  } else if (q <= 1.0 - 0.5 * a / b) {
+    z = q * b + 0.5 * a;  // flat top
+  } else {
+    z = a + b - std::sqrt(2.0 * a * b * (1.0 - q));  // falling edge
+  }
+  return shift + z;
+}
+
 int OneMOptimalMExact(int num_records, const BucketGeometry& geometry) {
   const BTreeLevelCounts levels =
       ComputeBTreeLevels(num_records, geometry.index_fanout());

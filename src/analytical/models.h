@@ -112,6 +112,23 @@ AnalyticalEstimate SignatureModel(int num_records,
                                   const BucketGeometry& geometry,
                                   double false_drop_rate);
 
+/// Closed-form access-time quantile of a fleet of (1,m) clients
+/// (client/fleet.h), `q` in [0,1].
+///
+/// A client tuning in at a uniformly random phase waits U(0, S) to the
+/// next index segment (S = segment bytes = (I + Nr/m) * Dt) and then
+/// U(0, C) for its data bucket (C = cycle bytes; the offset of any
+/// requested record from the segment start is uniform under a uniform
+/// tune-in phase, for ANY record popularity). The access time is the sum
+/// of the two independent uniforms — a trapezoidal density on [0, S+C] —
+/// shifted by a constant so the distribution's mean equals
+/// OneMModelExact's closed-form mean (the shift absorbs the initial
+/// partial bucket and the index descent). Quantiles invert the
+/// three-piece trapezoid CDF in closed form.
+double OneMFleetAccessQuantile(int num_records,
+                               const BucketGeometry& geometry, int m,
+                               double q);
+
 // --- multichannel models (schemes/multichannel.h strategies) ------------
 //
 // All three assume N synchronized channels on one byte clock and a

@@ -260,6 +260,48 @@ TEST(BenchCompareTest, SessionAccountingGatedUnderStrict) {
   EXPECT_FALSE(CompareBenchReports(negative, negative, strict).passed());
 }
 
+TEST(BenchCompareTest, FleetAccountingGatedUnderStrict) {
+  CompareOptions strict;
+  strict.strict_counters = true;
+
+  // A mixed sweep: the cache counters cover only the cache-on cells, so
+  // they bound the query total instead of partitioning it.
+  BenchReport base = BaseReport();
+  base.counters.Increment("fleet.clients", 4000);
+  base.counters.Increment("fleet.queries", 32000);
+  base.counters.Increment("fleet.found", 32000);
+  base.counters.Increment("fleet.cache_hits", 1500);
+  base.counters.Increment("fleet.cache_misses", 14500);
+  base.counters.Increment("fleet.wake_events", 32000);
+  const CompareResult ok = CompareBenchReports(base, base, strict);
+  EXPECT_TRUE(ok.passed()) << (ok.failures.empty() ? "" : ok.failures[0]);
+
+  // The cache can never see more queries than the fleet issued.
+  BenchReport overcounted = base;
+  overcounted.counters.Increment("fleet.cache_misses", 17000);
+  EXPECT_FALSE(
+      CompareBenchReports(overcounted, overcounted, strict).passed());
+  // ...gated only under --strict-counters.
+  EXPECT_TRUE(
+      CompareBenchReports(overcounted, overcounted, CompareOptions{})
+          .passed());
+
+  // Found queries are a subset of all queries.
+  BenchReport overfound = base;
+  overfound.counters.Increment("fleet.found", 1);
+  EXPECT_FALSE(CompareBenchReports(overfound, overfound, strict).passed());
+
+  // Dead air requires hops, as in the single-client channel accounting.
+  BenchReport dead_air = base;
+  dead_air.counters.Increment("fleet.switch_bytes", 512);
+  EXPECT_FALSE(CompareBenchReports(dead_air, dead_air, strict).passed());
+
+  // Negative fleet counters are corrupt reports.
+  BenchReport negative = base;
+  negative.counters.Increment("fleet.slots_scanned", -1);
+  EXPECT_FALSE(CompareBenchReports(negative, negative, strict).passed());
+}
+
 TEST(BenchCompareTest, StrictCountersDetectDrift) {
   const BenchReport base = BaseReport();
   BenchReport cand = BaseReport();

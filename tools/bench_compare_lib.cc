@@ -261,6 +261,61 @@ CompareResult CompareBenchReports(const BenchReport& baseline,
               candidate.counters.Get("client.cache_invalidations")));
     }
 
+    // Fleet-population accounting (core/fleet_runner.h). A sweep may mix
+    // cache-on and cache-off cells, so the cache counters bound — rather
+    // than partition — the query total; everything else mirrors the
+    // single-client identities above.
+    for (const BenchReport* report : {&baseline, &candidate}) {
+      if (!report->counters.Has("fleet.clients")) continue;
+      const char* side = report == &baseline ? "baseline" : "candidate";
+      for (const MetricsRegistry::Entry& entry : report->counters.entries()) {
+        if (entry.name.rfind("fleet.", 0) == 0 && entry.value < 0) {
+          result.failures.push_back(std::string(side) + " counter '" +
+                                    entry.name + "' is negative: " +
+                                    std::to_string(entry.value));
+        }
+      }
+      const std::int64_t queries = report->counters.Get("fleet.queries");
+      if (report->counters.Get("fleet.found") > queries) {
+        result.failures.push_back(
+            std::string(side) +
+            " fleet accounting is inconsistent: fleet.found " +
+            std::to_string(report->counters.Get("fleet.found")) +
+            " > fleet.queries " + std::to_string(queries));
+      }
+      const std::int64_t fleet_hits =
+          report->counters.Get("fleet.cache_hits");
+      const std::int64_t fleet_misses =
+          report->counters.Get("fleet.cache_misses");
+      if (fleet_hits + fleet_misses > queries) {
+        result.failures.push_back(
+            std::string(side) +
+            " fleet accounting is inconsistent: fleet.cache_hits " +
+            std::to_string(fleet_hits) + " + fleet.cache_misses " +
+            std::to_string(fleet_misses) + " > fleet.queries " +
+            std::to_string(queries));
+      }
+      if (report->counters.Get("fleet.channel_hops") == 0 &&
+          report->counters.Get("fleet.switch_bytes") != 0) {
+        result.failures.push_back(
+            std::string(side) +
+            " fleet accounting is inconsistent: fleet.switch_bytes " +
+            std::to_string(report->counters.Get("fleet.switch_bytes")) +
+            " with zero fleet.channel_hops");
+      }
+    }
+    if (baseline.counters.Has("fleet.clients") ||
+        candidate.counters.Has("fleet.clients")) {
+      result.notes.push_back(
+          "fleet accounting: clients " +
+          std::to_string(baseline.counters.Get("fleet.clients")) + " -> " +
+          std::to_string(candidate.counters.Get("fleet.clients")) +
+          ", cache hits " +
+          std::to_string(baseline.counters.Get("fleet.cache_hits")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("fleet.cache_hits")));
+    }
+
     if (baseline.counters.Has("client.channel_hops") ||
         candidate.counters.Has("client.channel_hops")) {
       result.notes.push_back(

@@ -32,7 +32,12 @@ struct CompareOptions {
   /// tuning split), and their drift is surfaced as a note. Stateful-client
   /// runs likewise: cache_hits + cache_misses must equal session_queries,
   /// cache_hit_bytes must be zero (a fresh hit moves no broadcast bytes),
-  /// and invalidations can never exceed misses.
+  /// and invalidations can never exceed misses. Fleet-population runs
+  /// (fleet.* counters, core/fleet_runner.h) get their own identities:
+  /// every fleet counter is non-negative, found and cache_hits +
+  /// cache_misses can never exceed fleet.queries (a sweep may mix
+  /// cache-on and cache-off cells, so the cache counters cover only a
+  /// subset of the queries), and switch bytes again require hops.
   bool strict_counters = false;
 };
 

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Documentation convention check, run from ctest (see tests/CMakeLists.txt).
 #
-# Enforces two invariants that keep docs/ARCHITECTURE.md anchored to the
-# code:
+# Enforces three invariants that keep the docs anchored to the code:
 #   1. every src/<module>/ has at least one header carrying a
-#      "// Layer: <n> (<module>)" comment naming its layer, and
+#      "// Layer: <n> (<module>)" comment naming its layer,
 #   2. every module name appears in docs/ARCHITECTURE.md (so a new module
-#      cannot land without the architecture doc mentioning it).
+#      cannot land without the architecture doc mentioning it), and
+#   3. every bench binary registered in bench/CMakeLists.txt — the
+#      airindex_add_bench(...) drivers plus micro_benchmarks — has a
+#      "| `name`" table row in docs/BENCHMARKS.md (so a new bench cannot
+#      land undocumented).
 #
 # Usage: tools/check_layer_docs.sh [repo-root]
 
@@ -35,8 +38,24 @@ for dir in "$root"/src/*/; do
   fi
 done
 
+bench_doc="$root/docs/BENCHMARKS.md"
+bench_cmake="$root/bench/CMakeLists.txt"
+if [ ! -f "$bench_doc" ]; then
+  echo "FAIL: $bench_doc is missing" >&2
+  exit 1
+fi
+benches="$(sed -n 's/^airindex_add_bench(\([a-z0-9_]*\)).*/\1/p' \
+  "$bench_cmake"; echo micro_benchmarks)"
+for bench in $benches; do
+  if ! grep -q "| \`$bench\`" "$bench_doc"; then
+    echo "FAIL: docs/BENCHMARKS.md has no table row for bench" \
+         "'$bench' (want a line containing \"| \`$bench\`\")" >&2
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
-  echo "OK: every src/ module names its layer and is covered by" \
-       "docs/ARCHITECTURE.md"
+  echo "OK: every src/ module names its layer, docs/ARCHITECTURE.md covers" \
+       "every module, and docs/BENCHMARKS.md covers every bench binary"
 fi
 exit $status

@@ -8,9 +8,11 @@
 # (headers are counted once, template instances folded together),
 # aggregates over src/schemes/, src/broadcast/ and src/client/ (the
 # layers every protocol walk exercises, and the ones this repo's
-# correctness rests on), emits an lcov-format tracefile for the CI
-# artifact, and fails when the aggregate line coverage of any layer
-# drops below the floor.
+# correctness rests on) plus the src/client/fleet* population engine on
+# its own (it carries the fleet determinism contract, so it gets a
+# dedicated floor rather than hiding in the client aggregate), emits an
+# lcov-format tracefile for the CI artifact, and fails when the
+# aggregate line coverage of any gated prefix drops below the floor.
 #
 # Implemented on plain `gcov` text output so it runs anywhere gcc does —
 # no lcov/gcovr dependency.
@@ -94,9 +96,13 @@ if [ -n "$lcov_out" ]; then
   ' "$merged" > "$lcov_out"
 fi
 
+# Gated prefixes: whole layers (matched as directories) and the fleet
+# engine's file stem. Prefix matching is on "$root/<entry>", so a
+# directory entry must not rely on a trailing slash — src/client/fleet
+# deliberately matches src/client/fleet.cc and src/client/fleet.h only.
 status=0
-for layer in src/schemes src/broadcast src/client; do
-  read -r covered total < <(awk -F '\t' -v prefix="$root/$layer/" '
+for layer in src/schemes src/broadcast src/client src/client/fleet; do
+  read -r covered total < <(awk -F '\t' -v prefix="$root/$layer" '
     index($1, prefix) == 1 {
       total += 1
       if ($3 > 0) covered += 1
