@@ -110,6 +110,12 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
           ParseIntArg(argc, argv, &i, "--cache-warmup");
     } else if (std::strcmp(argv[i], "--fleet-size") == 0) {
       options.fleet_size = ParseIntArg(argc, argv, &i, "--fleet-size");
+    } else if (std::strcmp(argv[i], "--program-cache") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--program-cache requires a directory\n");
+        std::exit(2);
+      }
+      options.program_cache_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--allocation") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--allocation requires a strategy name\n");
@@ -131,12 +137,32 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
 void ApplyMultiChannelOptions(const BenchOptions& options,
                               TestbedConfig* config) {
   config->multichannel = options.multichannel;
+  // Also applied here (idempotently with ApplyWorkloadOptions) so every
+  // bench that applies either flag family honours --program-cache.
+  config->program_cache_dir = options.program_cache_dir;
 }
 
 void ApplyWorkloadOptions(const BenchOptions& options,
                           TestbedConfig* config) {
   if (options.zipf_theta >= 0.0) config->zipf_theta = options.zipf_theta;
   config->client = options.client;
+  config->program_cache_dir = options.program_cache_dir;
+}
+
+void PrintProgramCacheSummary(const ProgramCache* cache) {
+  if (cache == nullptr) return;
+  const MetricsRegistry metrics = cache->MetricsSnapshot();
+  std::fprintf(stderr,
+               "program cache (%s): builds=%lld build_seconds=%.3f "
+               "snapshot_hits=%lld snapshot_misses=%lld memory_hits=%lld "
+               "writes=%lld\n",
+               cache->dir().c_str(),
+               static_cast<long long>(metrics.Get("program.builds")),
+               static_cast<double>(metrics.Get("program.build_micros")) * 1e-6,
+               static_cast<long long>(metrics.Get("program.snapshot_hits")),
+               static_cast<long long>(metrics.Get("program.snapshot_misses")),
+               static_cast<long long>(metrics.Get("program.memory_hits")),
+               static_cast<long long>(metrics.Get("program.snapshot_writes")));
 }
 
 BenchReporter::BenchReporter(std::string bench_name,

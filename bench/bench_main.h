@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "core/json_report.h"
+#include "core/program_cache.h"
 #include "core/report.h"
 #include "core/simulator.h"
 
@@ -74,6 +75,10 @@ struct BenchOptions {
   ClientSessionConfig client;
   /// --fleet-size; 0 means "use the fleet bench's own size grid".
   std::int64_t fleet_size = 0;
+  /// --program-cache DIR: on-disk broadcast-program snapshot cache
+  /// (core/program_cache.h). Empty disables caching. Never affects
+  /// results or the JSON report — only setup wall time.
+  std::string program_cache_dir;
 };
 
 /// Parses the shared flags, ignoring anything it does not recognise (so a
@@ -93,6 +98,12 @@ void ApplyMultiChannelOptions(const BenchOptions& options,
 /// default. Benches whose sweep axes are these very knobs (e.g.
 /// fig_client_cache) skip this call.
 void ApplyWorkloadOptions(const BenchOptions& options, TestbedConfig* config);
+
+/// Prints one program-cache telemetry line to stderr (no-op on nullptr —
+/// benches call it unconditionally with engine.program_cache()). Kept off
+/// stdout and out of the JSON report so warm and cold cache runs stay
+/// byte-identical; the counters are documented in docs/METRICS.md.
+void PrintProgramCacheSummary(const ProgramCache* cache);
 
 /// Collects bench results into a BenchReport and writes it when --json
 /// was requested.

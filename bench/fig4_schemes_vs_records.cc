@@ -156,6 +156,7 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  PrintProgramCacheSummary(experiment.program_cache());
   if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
     std::cerr << "json report failed: " << s.ToString() << "\n";
     return 1;

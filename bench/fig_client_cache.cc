@@ -153,6 +153,7 @@ int Main(int argc, char** argv) {
               ? options.client.warmup_queries
               : std::max(1000, 4 * cell.cache_size);
       config.seed = 777 + static_cast<std::uint64_t>(num_records);
+      config.program_cache_dir = options.program_cache_dir;
       if (quick) {
         config.min_rounds = 10;
         config.max_rounds = 40;
@@ -231,6 +232,7 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  PrintProgramCacheSummary(experiment.program_cache());
   if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
     std::cerr << "json report failed: " << s.ToString() << "\n";
     return 1;

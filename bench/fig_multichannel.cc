@@ -121,6 +121,7 @@ int Main(int argc, char** argv) {
       config.multichannel.switch_cost_bytes = switch_cost;
       config.multichannel.allocation = series.allocation;
       config.seed = 4242 + static_cast<std::uint64_t>(num_records);
+      config.program_cache_dir = options.program_cache_dir;
       if (quick) {
         config.min_rounds = 10;
         config.max_rounds = 40;
@@ -169,6 +170,7 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
+  PrintProgramCacheSummary(experiment.program_cache());
   if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
     std::cerr << "json report failed: " << s.ToString() << "\n";
     return 1;

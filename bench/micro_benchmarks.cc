@@ -42,6 +42,36 @@ void BM_ChannelBuild(benchmark::State& state, SchemeKind kind) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
+/// Full program construction: build + flatten into an arena — the cold
+/// path of the program cache. Compare against BM_ProgramRestore to see
+/// what a warm cache saves per sweep cell.
+void BM_ProgramBuild(benchmark::State& state, SchemeKind kind) {
+  const auto dataset = BenchDataset(static_cast<int>(state.range(0)));
+  const BucketGeometry geometry;
+  for (auto _ : state) {
+    auto scheme = BuildScheme(kind, dataset, geometry).value();
+    auto arena = FlattenSchemeProgram(kind, *scheme, 1, 2);
+    benchmark::DoNotOptimize(arena);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+/// The warm path: restore a ready-to-query scheme from an existing
+/// arena (channel inflation + cheap deterministic aux rebuild).
+void BM_ProgramRestore(benchmark::State& state, SchemeKind kind) {
+  const auto dataset = BenchDataset(static_cast<int>(state.range(0)));
+  const BucketGeometry geometry;
+  auto scheme = BuildScheme(kind, dataset, geometry).value();
+  auto arena = std::make_shared<const ProgramArena>(
+      FlattenSchemeProgram(kind, *scheme, 1, 2).value());
+  for (auto _ : state) {
+    auto restored =
+        RestoreSchemeFromArena(arena, dataset, geometry, SchemeParams());
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
 void BM_Access(benchmark::State& state, SchemeKind kind) {
   const int n = static_cast<int>(state.range(0));
   const auto dataset = BenchDataset(n);
@@ -146,6 +176,17 @@ BENCHMARK_CAPTURE(BM_ChannelBuild, distributed, SchemeKind::kDistributed)
     ->Arg(34000);
 BENCHMARK_CAPTURE(BM_ChannelBuild, hashing, SchemeKind::kHashing)->Arg(34000);
 BENCHMARK_CAPTURE(BM_ChannelBuild, signature, SchemeKind::kSignature)
+    ->Arg(34000);
+
+BENCHMARK_CAPTURE(BM_ProgramBuild, one_m, SchemeKind::kOneM)->Arg(34000);
+BENCHMARK_CAPTURE(BM_ProgramBuild, distributed, SchemeKind::kDistributed)
+    ->Arg(34000);
+BENCHMARK_CAPTURE(BM_ProgramBuild, signature, SchemeKind::kSignature)
+    ->Arg(34000);
+BENCHMARK_CAPTURE(BM_ProgramRestore, one_m, SchemeKind::kOneM)->Arg(34000);
+BENCHMARK_CAPTURE(BM_ProgramRestore, distributed, SchemeKind::kDistributed)
+    ->Arg(34000);
+BENCHMARK_CAPTURE(BM_ProgramRestore, signature, SchemeKind::kSignature)
     ->Arg(34000);
 
 BENCHMARK_CAPTURE(BM_Access, flat, SchemeKind::kFlat)->Arg(34000);

@@ -1,0 +1,95 @@
+#include "broadcast/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace airindex {
+
+std::vector<std::uint8_t> ProgramSnapshot::Serialize(
+    const ProgramArena& arena) {
+  SnapshotHeader header;
+  header.magic = kMagic;
+  header.format_version = kFormatVersion;
+  header.payload_bytes = arena.bytes().size();
+  header.payload_checksum = arena.Checksum();
+
+  std::vector<std::uint8_t> out(sizeof(header) + arena.bytes().size());
+  std::memcpy(out.data(), &header, sizeof(header));
+  std::memcpy(out.data() + sizeof(header), arena.bytes().data(),
+              arena.bytes().size());
+  return out;
+}
+
+Result<ProgramArena> ProgramSnapshot::Deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < sizeof(SnapshotHeader)) {
+    return Status::InvalidArgument("snapshot: buffer shorter than header");
+  }
+  SnapshotHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != kMagic) {
+    return Status::InvalidArgument("snapshot: bad magic");
+  }
+  if (header.format_version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot: format version " + std::to_string(header.format_version) +
+        " unsupported (want " + std::to_string(kFormatVersion) + ")");
+  }
+  if (header.payload_bytes != bytes.size() - sizeof(header)) {
+    return Status::InvalidArgument(
+        "snapshot: payload truncated (header claims " +
+        std::to_string(header.payload_bytes) + " bytes, file carries " +
+        std::to_string(bytes.size() - sizeof(header)) + ")");
+  }
+  std::vector<std::uint8_t> payload(bytes.begin() + sizeof(header),
+                                    bytes.end());
+  const std::uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  if (checksum != header.payload_checksum) {
+    return Status::InvalidArgument("snapshot: checksum mismatch (corrupted "
+                                   "payload)");
+  }
+  return ProgramArena::FromBytes(std::move(payload));
+}
+
+Status ProgramSnapshot::WriteFile(const std::string& path,
+                                  const ProgramArena& arena) {
+  const std::vector<std::uint8_t> bytes = Serialize(arena);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("snapshot: cannot open " + tmp + " for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != bytes.size() || !closed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("snapshot: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("snapshot: cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<ProgramArena> ProgramSnapshot::LoadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("snapshot: no file at " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::Internal("snapshot: read error on " + path);
+  }
+  return Deserialize(bytes);
+}
+
+}  // namespace airindex

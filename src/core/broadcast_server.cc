@@ -7,7 +7,7 @@ namespace airindex {
 Result<BroadcastServer> BroadcastServer::Create(
     SchemeKind kind, std::shared_ptr<const Dataset> dataset,
     const BucketGeometry& geometry, const SchemeParams& params,
-    const MultiChannelParams& multichannel) {
+    const MultiChannelParams& multichannel, ProgramCache* program_cache) {
   if (multichannel.num_channels > 1) {
     Result<std::unique_ptr<MultiChannelProgram>> program =
         MultiChannelProgram::Build(kind, std::move(dataset), geometry, params,
@@ -18,7 +18,10 @@ Result<BroadcastServer> BroadcastServer::Create(
     return BroadcastServer(std::move(owned), alias);
   }
   Result<std::unique_ptr<BroadcastScheme>> scheme =
-      BuildScheme(kind, std::move(dataset), geometry, params);
+      program_cache != nullptr
+          ? program_cache->GetOrBuild(kind, std::move(dataset), geometry,
+                                      params)
+          : BuildScheme(kind, std::move(dataset), geometry, params);
   if (!scheme.ok()) return scheme.status();
   return BroadcastServer(std::move(scheme).value(), nullptr);
 }

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "core/program_cache.h"
 #include "schemes/access.h"
 #include "schemes/multichannel.h"
 #include "schemes/scheme.h"
@@ -25,11 +26,17 @@ namespace airindex {
 /// stay byte-identical with pre-multichannel builds.
 class BroadcastServer {
  public:
-  /// Builds the channel(s) for `kind` over `dataset`.
+  /// Builds the channel(s) for `kind` over `dataset`. When
+  /// `program_cache` is non-null and the program is single-channel, the
+  /// scheme comes from the cache (restored from a flattened arena on a
+  /// hit, built-and-flattened on a miss) — results are identical either
+  /// way; only setup time changes. Multichannel programs always build
+  /// directly (their ChannelGroup protocol state is not arena-cacheable).
   static Result<BroadcastServer> Create(
       SchemeKind kind, std::shared_ptr<const Dataset> dataset,
       const BucketGeometry& geometry, const SchemeParams& params,
-      const MultiChannelParams& multichannel = {});
+      const MultiChannelParams& multichannel = {},
+      ProgramCache* program_cache = nullptr);
 
   BroadcastServer(BroadcastServer&&) = default;
   BroadcastServer& operator=(BroadcastServer&&) = default;

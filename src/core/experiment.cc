@@ -61,9 +61,17 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   if (!dataset_result.ok()) return dataset_result.status();
   const std::shared_ptr<const Dataset> dataset =
       std::move(dataset_result).value();
+  ProgramCache* cache = nullptr;
+  if (!config.program_cache_dir.empty()) {
+    if (program_cache_ == nullptr ||
+        program_cache_->dir() != config.program_cache_dir) {
+      program_cache_ = std::make_unique<ProgramCache>(config.program_cache_dir);
+    }
+    cache = program_cache_.get();
+  }
   Result<BroadcastServer> server_result =
       BroadcastServer::Create(config.scheme, dataset, config.geometry,
-                              config.params, config.multichannel);
+                              config.params, config.multichannel, cache);
   if (!server_result.ok()) return server_result.status();
   const BroadcastServer server = std::move(server_result).value();
 

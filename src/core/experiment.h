@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/program_cache.h"
 #include "core/report.h"
 #include "core/simulator.h"
 #include "core/testbed_config.h"
@@ -86,6 +87,12 @@ class ParallelExperiment {
   /// Worker threads in use.
   int jobs() const { return pool_.size(); }
 
+  /// The broadcast-program cache in use, or nullptr until a Run with a
+  /// non-empty config.program_cache_dir created one. Exposed so bench
+  /// mains can print its telemetry (docs/METRICS.md, program.* counters)
+  /// — the counters never enter simulation metrics or bench reports.
+  const ProgramCache* program_cache() const { return program_cache_.get(); }
+
  private:
   /// One shared Zipf sampling table per distinct (ranks, theta):
   /// replications — and same-shape sweep cells, since the cache persists
@@ -98,6 +105,10 @@ class ParallelExperiment {
   ThreadPool pool_;
   int lookahead_;
   RunTiming timing_;
+  /// Lives across Run/RunSweep calls so identical cells share one
+  /// flattened program; (re)created when a config names a different
+  /// snapshot directory.
+  std::unique_ptr<ProgramCache> program_cache_;
   std::vector<std::pair<std::pair<int, double>,
                         std::shared_ptr<const ZipfDistribution>>>
       zipf_cache_;

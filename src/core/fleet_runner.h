@@ -70,9 +70,15 @@ class FleetExperiment {
   /// Worker threads in use.
   int jobs() const { return pool_.size(); }
 
+  /// The broadcast-program cache in use, or nullptr until a Run with a
+  /// non-empty config.program_cache_dir created one (see
+  /// core/program_cache.h; same contract as ParallelExperiment).
+  const ProgramCache* program_cache() const { return program_cache_.get(); }
+
  private:
   ThreadPool pool_;
   RunTiming timing_;
+  std::unique_ptr<ProgramCache> program_cache_;
 };
 
 }  // namespace airindex

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "broadcast/geometry.h"
 #include "client/client_cache.h"
@@ -30,6 +31,13 @@ struct TestbedConfig {
   /// Multichannel broadcast (extension; see schemes/multichannel.h).
   /// The default single channel reproduces the paper's testbed exactly.
   MultiChannelParams multichannel;
+
+  /// Directory for on-disk broadcast-program snapshots (see
+  /// core/program_cache.h). Empty disables program caching. Caching
+  /// never changes results — a restored program is observably identical
+  /// to a freshly built one — so this knob is deliberately excluded from
+  /// the program/params fingerprints and from bench reports.
+  std::string program_cache_dir;
 
   /// Number of broadcast records (synthetic generator).
   int num_records = 7000;

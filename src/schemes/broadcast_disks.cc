@@ -17,12 +17,13 @@ BroadcastDisks::BroadcastDisks(std::shared_ptr<const Dataset> dataset,
       occurrences_(std::move(occurrences)),
       disk_of_(std::move(disk_of)) {}
 
-Result<BroadcastDisks> BroadcastDisks::Build(
-    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
-    BroadcastDisksParams params) {
-  if (dataset == nullptr || dataset->size() == 0) {
-    return Status::InvalidArgument("broadcast disks need a non-empty dataset");
-  }
+namespace {
+
+/// Validates `params` against `num_records` and returns the per-disk
+/// record boundaries (Build's cumulative-fraction rule). Shared by Build
+/// and Restore so a restored scheme gets the identical record→disk map.
+Result<std::vector<int>> ComputeDiskBegin(const BroadcastDisksParams& params,
+                                          int num_records) {
   const std::size_t num_disks = params.disk_fractions.size();
   if (num_disks == 0 || params.disk_frequencies.size() != num_disks) {
     return Status::InvalidArgument(
@@ -50,7 +51,6 @@ Result<BroadcastDisks> BroadcastDisks::Build(
       return Status::InvalidArgument("disk frequencies must be non-increasing");
     }
   }
-  const int num_records = dataset->size();
   if (num_records < static_cast<int>(num_disks)) {
     return Status::InvalidArgument("need at least one record per disk");
   }
@@ -65,13 +65,36 @@ Result<BroadcastDisks> BroadcastDisks::Build(
         disk_begin[d] + 1, num_records - static_cast<int>(num_disks - d - 1));
   }
   disk_begin[num_disks] = num_records;
+  return disk_begin;
+}
 
+std::vector<int> DiskOfFromBegin(const std::vector<int>& disk_begin,
+                                 int num_records) {
+  const std::size_t num_disks = disk_begin.size() - 1;
   std::vector<int> disk_of(static_cast<std::size_t>(num_records), 0);
   for (std::size_t d = 0; d < num_disks; ++d) {
     for (int r = disk_begin[d]; r < disk_begin[d + 1]; ++r) {
       disk_of[static_cast<std::size_t>(r)] = static_cast<int>(d);
     }
   }
+  return disk_of;
+}
+
+}  // namespace
+
+Result<BroadcastDisks> BroadcastDisks::Build(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    BroadcastDisksParams params) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("broadcast disks need a non-empty dataset");
+  }
+  const std::size_t num_disks = params.disk_fractions.size();
+  const int num_records = dataset->size();
+  Result<std::vector<int>> begin = ComputeDiskBegin(params, num_records);
+  if (!begin.ok()) return begin.status();
+  const std::vector<int> disk_begin = std::move(begin).value();
+  std::vector<int> disk_of = DiskOfFromBegin(disk_begin, num_records);
+  const int max_freq = params.disk_frequencies.front();
 
   // Chunk each disk into max_freq / freq_d contiguous chunks.
   struct Chunk {
@@ -185,6 +208,42 @@ AccessResult BroadcastDisks::AccessReference(std::string_view key,
   }
   result.access_time = t - tune_in;
   return result;
+}
+
+Result<BroadcastDisks> BroadcastDisks::Restore(
+    std::shared_ptr<const Dataset> dataset, BroadcastDisksParams params,
+    Channel channel) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument(
+        "broadcast disks restore needs a non-empty dataset");
+  }
+  const int num_records = dataset->size();
+  Result<std::vector<int>> begin = ComputeDiskBegin(params, num_records);
+  if (!begin.ok()) return begin.status();
+  std::vector<int> disk_of = DiskOfFromBegin(begin.value(), num_records);
+
+  // Build emits buckets (and occurrence phases) in phase order, so one
+  // forward scan reproduces the per-record occurrence table exactly.
+  std::vector<std::vector<Bytes>> occurrences(
+      static_cast<std::size_t>(num_records));
+  for (std::size_t i = 0; i < channel.num_buckets(); ++i) {
+    const Bucket& bucket = channel.bucket(i);
+    if (bucket.record_id < 0 || bucket.record_id >= num_records) {
+      return Status::InvalidArgument(
+          "broadcast disks restore: bucket with out-of-range record id");
+    }
+    occurrences[static_cast<std::size_t>(bucket.record_id)].push_back(
+        channel.start_phase(i));
+  }
+  for (const std::vector<Bytes>& phases : occurrences) {
+    if (phases.empty()) {
+      return Status::InvalidArgument(
+          "broadcast disks restore: record missing from the major cycle");
+    }
+  }
+  return BroadcastDisks(std::move(dataset), std::move(params),
+                        std::move(channel), std::move(occurrences),
+                        std::move(disk_of));
 }
 
 }  // namespace airindex

@@ -45,6 +45,14 @@ class BroadcastDisks : public BroadcastScheme {
                                       const BucketGeometry& geometry,
                                       BroadcastDisksParams params = {});
 
+  /// Reattaches a channel inflated from a program arena. The per-record
+  /// occurrence table is recovered by one scan of the channel (Build
+  /// emits occurrences in phase order) and the record→disk map is
+  /// recomputed from `params` with Build's assignment rule.
+  static Result<BroadcastDisks> Restore(std::shared_ptr<const Dataset> dataset,
+                                        BroadcastDisksParams params,
+                                        Channel channel);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "broadcast disks"; }
 

@@ -296,4 +296,25 @@ AccessResult DistributedIndexing::AccessTraced(std::string_view key,
   return result;
 }
 
+Result<DistributedIndexing> DistributedIndexing::Restore(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    Channel channel, int r, int num_segments) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument(
+        "distributed restore needs a non-empty dataset");
+  }
+  if (r < 0 || num_segments < 1) {
+    return Status::InvalidArgument(
+        "distributed restore: resolved r/num_segments out of range");
+  }
+  Result<BTree> tree = BTree::Build(dataset->size(), geometry.index_fanout());
+  if (!tree.ok()) return tree.status();
+  if (r > tree.value().height() - 1) {
+    return Status::InvalidArgument(
+        "distributed restore: r exceeds tree height");
+  }
+  return DistributedIndexing(std::move(dataset), std::move(tree).value(),
+                             std::move(channel), r, num_segments);
+}
+
 }  // namespace airindex

@@ -37,6 +37,13 @@ class DistributedIndexing : public BroadcastScheme {
   /// Access-time-optimal replicated-level count for this configuration.
   static int OptimalR(int num_records, const BucketGeometry& geometry);
 
+  /// Reattaches a channel inflated from a program arena. `r` and
+  /// `num_segments` are the resolved values recorded at flatten time;
+  /// the index tree is rebuilt deterministically.
+  static Result<DistributedIndexing> Restore(
+      std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+      Channel channel, int r, int num_segments);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "distributed indexing"; }
 

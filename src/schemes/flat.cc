@@ -1,5 +1,6 @@
 #include "schemes/flat.h"
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -86,6 +87,19 @@ AccessResult FlatBroadcast::AccessReference(std::string_view key,
   }
   result.access_time = t - tune_in;
   return result;
+}
+
+Result<FlatBroadcast> FlatBroadcast::Restore(
+    std::shared_ptr<const Dataset> dataset, Channel channel) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("flat restore needs a non-empty dataset");
+  }
+  if (channel.num_buckets() != static_cast<std::size_t>(dataset->size())) {
+    return Status::InvalidArgument(
+        "flat restore: channel has " + std::to_string(channel.num_buckets()) +
+        " buckets for " + std::to_string(dataset->size()) + " records");
+  }
+  return FlatBroadcast(std::move(dataset), std::move(channel));
 }
 
 }  // namespace airindex

@@ -26,6 +26,12 @@ class FlatBroadcast : public BroadcastScheme {
   static Result<FlatBroadcast> Build(std::shared_ptr<const Dataset> dataset,
                                      const BucketGeometry& geometry);
 
+  /// Reattaches a channel inflated from a program arena (the scheme
+  /// holds no derived state beyond the channel). Validates that the
+  /// channel covers the dataset.
+  static Result<FlatBroadcast> Restore(std::shared_ptr<const Dataset> dataset,
+                                       Channel channel);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "flat broadcast"; }
 

@@ -154,4 +154,17 @@ AccessResult SimpleHashing::Access(std::string_view key, Bytes tune_in) const {
   return result;
 }
 
+Result<SimpleHashing> SimpleHashing::Restore(
+    std::shared_ptr<const Dataset> dataset, Channel channel, int allocated) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("hashing restore needs a non-empty dataset");
+  }
+  if (allocated < 1 ||
+      static_cast<std::size_t>(allocated) > channel.num_buckets()) {
+    return Status::InvalidArgument(
+        "hashing restore: resolved slot count out of range");
+  }
+  return SimpleHashing(std::move(dataset), std::move(channel), allocated);
+}
+
 }  // namespace airindex

@@ -32,6 +32,11 @@ class SimpleHashing : public BroadcastScheme {
                                      const BucketGeometry& geometry,
                                      double allocation_factor = 1.0);
 
+  /// Reattaches a channel inflated from a program arena. `allocated` is
+  /// the resolved slot count Na recorded at flatten time.
+  static Result<SimpleHashing> Restore(std::shared_ptr<const Dataset> dataset,
+                                       Channel channel, int allocated);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "simple hashing"; }
 

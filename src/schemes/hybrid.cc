@@ -298,4 +298,27 @@ FilterResult HybridIndexing::Filter(std::string_view value,
   return result;
 }
 
+Result<HybridIndexing> HybridIndexing::Restore(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    SignatureParams params, Channel channel, int group_size, int m) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("hybrid restore needs a non-empty dataset");
+  }
+  if (group_size < 1) {
+    return Status::InvalidArgument(
+        "hybrid restore: group_size must be >= 1");
+  }
+  const int num_groups = (dataset->size() + group_size - 1) / group_size;
+  if (m < 1 || m > num_groups) {
+    return Status::InvalidArgument(
+        "hybrid restore: resolved m out of [1, num_groups]");
+  }
+  SignatureGenerator generator(geometry, params);
+  Result<BTree> tree = BTree::Build(num_groups, geometry.index_fanout());
+  if (!tree.ok()) return tree.status();
+  return HybridIndexing(std::move(dataset), generator,
+                        std::move(tree).value(), std::move(channel),
+                        group_size, m);
+}
+
 }  // namespace airindex

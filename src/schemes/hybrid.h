@@ -40,6 +40,14 @@ class HybridIndexing : public BroadcastScheme {
                                       SignatureParams params = {},
                                       int group_size = 16, int m = 0);
 
+  /// Reattaches a channel inflated from a program arena. `group_size`
+  /// and `m` are the resolved values recorded at flatten time; the
+  /// group tree is rebuilt deterministically.
+  static Result<HybridIndexing> Restore(std::shared_ptr<const Dataset> dataset,
+                                        const BucketGeometry& geometry,
+                                        SignatureParams params, Channel channel,
+                                        int group_size, int m);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "hybrid index+signature"; }
 

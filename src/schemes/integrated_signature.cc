@@ -126,4 +126,21 @@ AccessResult IntegratedSignatureIndexing::Access(std::string_view key,
   return result;
 }
 
+Result<IntegratedSignatureIndexing> IntegratedSignatureIndexing::Restore(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    SignatureParams params, Channel channel, int group_size) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument(
+        "integrated signature restore needs a non-empty dataset");
+  }
+  if (group_size < 1) {
+    return Status::InvalidArgument(
+        "integrated signature restore: group_size must be >= 1");
+  }
+  SignatureGenerator generator(
+      ResolveGroupSignatureBytes(geometry, params, group_size), params);
+  return IntegratedSignatureIndexing(std::move(dataset), generator,
+                                     std::move(channel), group_size);
+}
+
 }  // namespace airindex

@@ -31,6 +31,12 @@ class IntegratedSignatureIndexing : public BroadcastScheme {
       std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
       SignatureParams params = SignatureParams(), int group_size = 16);
 
+  /// Reattaches a channel inflated from a program arena; the generator
+  /// is reconstructed from geometry + params (pure configuration).
+  static Result<IntegratedSignatureIndexing> Restore(
+      std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+      SignatureParams params, Channel channel, int group_size);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "integrated signature"; }
 

@@ -160,4 +160,23 @@ AccessResult MultiLevelSignatureIndexing::Access(std::string_view key,
   return result;
 }
 
+Result<MultiLevelSignatureIndexing> MultiLevelSignatureIndexing::Restore(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    SignatureParams params, Channel channel, int group_size) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument(
+        "multi-level signature restore needs a non-empty dataset");
+  }
+  if (group_size < 1) {
+    return Status::InvalidArgument(
+        "multi-level signature restore: group_size must be >= 1");
+  }
+  SignatureGenerator record_generator(geometry, params);
+  SignatureGenerator group_generator(
+      ResolveGroupSignatureBytes(geometry, params, group_size), params);
+  return MultiLevelSignatureIndexing(std::move(dataset), record_generator,
+                                     group_generator, std::move(channel),
+                                     group_size);
+}
+
 }  // namespace airindex

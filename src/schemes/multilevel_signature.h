@@ -29,6 +29,12 @@ class MultiLevelSignatureIndexing : public BroadcastScheme {
       std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
       SignatureParams params = SignatureParams(), int group_size = 16);
 
+  /// Reattaches a channel inflated from a program arena; both
+  /// generators are reconstructed from geometry + params.
+  static Result<MultiLevelSignatureIndexing> Restore(
+      std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+      SignatureParams params, Channel channel, int group_size);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "multi-level signature"; }
 

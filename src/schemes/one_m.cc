@@ -169,4 +169,19 @@ AccessResult OneMIndexing::Access(std::string_view key, Bytes tune_in) const {
   return result;
 }
 
+Result<OneMIndexing> OneMIndexing::Restore(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    Channel channel, int m) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument("(1,m) restore needs a non-empty dataset");
+  }
+  if (m < 1) {
+    return Status::InvalidArgument("(1,m) restore: resolved m must be >= 1");
+  }
+  Result<BTree> tree = BTree::Build(dataset->size(), geometry.index_fanout());
+  if (!tree.ok()) return tree.status();
+  return OneMIndexing(std::move(dataset), std::move(tree).value(),
+                      std::move(channel), m);
+}
+
 }  // namespace airindex

@@ -32,6 +32,14 @@ class OneMIndexing : public BroadcastScheme {
   /// The m* the paper's analysis prescribes for this dataset/geometry.
   static int OptimalM(int num_records, const BucketGeometry& geometry);
 
+  /// Reattaches a channel inflated from a program arena. `m` is the
+  /// *resolved* replication count recorded at flatten time (never 0);
+  /// the index tree is rebuilt — BTree::Build is deterministic and
+  /// integer-only, so the restored scheme is observably identical.
+  static Result<OneMIndexing> Restore(std::shared_ptr<const Dataset> dataset,
+                                      const BucketGeometry& geometry,
+                                      Channel channel, int m);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "(1,m) indexing"; }
 

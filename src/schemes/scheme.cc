@@ -46,6 +46,37 @@ Result<std::unique_ptr<BroadcastScheme>> Wrap(Result<T> built) {
       std::make_unique<T>(std::move(built).value()));
 }
 
+/// Keep-alive decorator for restored schemes: the inflated channel's key
+/// views point into the arena's string pool, so the arena must outlive
+/// the scheme. Member order matters — arena_ is declared first so it is
+/// destroyed after inner_.
+class ArenaBackedScheme : public BroadcastScheme {
+ public:
+  ArenaBackedScheme(std::shared_ptr<const ProgramArena> arena,
+                    std::unique_ptr<BroadcastScheme> inner)
+      : arena_(std::move(arena)), inner_(std::move(inner)) {}
+
+  const Channel& channel() const override { return inner_->channel(); }
+  AccessResult Access(std::string_view key, Bytes tune_in) const override {
+    return inner_->Access(key, tune_in);
+  }
+  const char* name() const override { return inner_->name(); }
+
+  /// The wrapped concrete scheme — FlattenSchemeProgram unwraps through
+  /// this so a restored scheme can be re-flattened.
+  const BroadcastScheme& inner() const { return *inner_; }
+
+ private:
+  std::shared_ptr<const ProgramArena> arena_;
+  std::unique_ptr<BroadcastScheme> inner_;
+};
+
+SignatureParams SignatureParamsOf(const SchemeParams& params) {
+  SignatureParams signature_params;
+  signature_params.bits_per_attribute = params.signature_bits_per_attribute;
+  return signature_params;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<BroadcastScheme>> BuildScheme(
@@ -86,6 +117,189 @@ Result<std::unique_ptr<BroadcastScheme>> BuildScheme(
                                         params.hybrid_m));
   }
   return Status::InvalidArgument("unknown scheme kind");
+}
+
+Result<ProgramArena> FlattenSchemeProgram(SchemeKind kind,
+                                          const BroadcastScheme& scheme,
+                                          std::uint64_t dataset_fingerprint,
+                                          std::uint64_t params_fingerprint) {
+  // A restored scheme arrives wrapped in its arena keep-alive decorator;
+  // flatten the concrete scheme inside it.
+  if (const auto* wrapped = dynamic_cast<const ArenaBackedScheme*>(&scheme)) {
+    return FlattenSchemeProgram(kind, wrapped->inner(), dataset_fingerprint,
+                                params_fingerprint);
+  }
+  // Aux layout per kind (see RestoreSchemeFromArena, which consumes it):
+  // the scheme's *resolved* scalars — values Build may have derived from
+  // "auto" params (m* rules, optimal r, rounded slot counts) that the
+  // restore path must not re-derive differently.
+  std::vector<std::int64_t> aux;
+  switch (kind) {
+    case SchemeKind::kFlat:
+    case SchemeKind::kSignature:
+    case SchemeKind::kBroadcastDisks:
+      break;  // fully reconstructible from dataset + params + channel
+    case SchemeKind::kOneM: {
+      const auto* one_m = dynamic_cast<const OneMIndexing*>(&scheme);
+      if (one_m == nullptr) break;
+      aux = {one_m->m()};
+      break;
+    }
+    case SchemeKind::kDistributed: {
+      const auto* distributed =
+          dynamic_cast<const DistributedIndexing*>(&scheme);
+      if (distributed == nullptr) break;
+      aux = {distributed->replicated_levels(), distributed->num_segments()};
+      break;
+    }
+    case SchemeKind::kHashing: {
+      const auto* hashing = dynamic_cast<const SimpleHashing*>(&scheme);
+      if (hashing == nullptr) break;
+      aux = {hashing->allocated()};
+      break;
+    }
+    case SchemeKind::kIntegratedSignature: {
+      const auto* integrated =
+          dynamic_cast<const IntegratedSignatureIndexing*>(&scheme);
+      if (integrated == nullptr) break;
+      aux = {integrated->group_size()};
+      break;
+    }
+    case SchemeKind::kMultiLevelSignature: {
+      const auto* multilevel =
+          dynamic_cast<const MultiLevelSignatureIndexing*>(&scheme);
+      if (multilevel == nullptr) break;
+      aux = {multilevel->group_size()};
+      break;
+    }
+    case SchemeKind::kHybrid: {
+      const auto* hybrid = dynamic_cast<const HybridIndexing*>(&scheme);
+      if (hybrid == nullptr) break;
+      aux = {hybrid->group_size(), hybrid->m()};
+      break;
+    }
+  }
+  // Kinds with scalars must have matched their concrete type above.
+  const bool needs_aux =
+      kind != SchemeKind::kFlat && kind != SchemeKind::kSignature &&
+      kind != SchemeKind::kBroadcastDisks;
+  if (needs_aux && aux.empty()) {
+    return Status::InvalidArgument(
+        std::string("flatten: scheme is not a ") + SchemeKindToString(kind));
+  }
+  return ProgramArena::Flatten({&scheme.channel()}, /*switch_cost_bytes=*/0,
+                               static_cast<int>(kind), dataset_fingerprint,
+                               params_fingerprint, aux);
+}
+
+Result<std::unique_ptr<BroadcastScheme>> RestoreSchemeFromArena(
+    std::shared_ptr<const ProgramArena> arena,
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    const SchemeParams& params) {
+  if (arena == nullptr) {
+    return Status::InvalidArgument("restore: null arena");
+  }
+  if (arena->num_channels() != 1) {
+    return Status::InvalidArgument(
+        "restore: scheme programs are single-channel, arena carries " +
+        std::to_string(arena->num_channels()));
+  }
+  const int kind_int = arena->scheme_kind();
+  if (kind_int < static_cast<int>(SchemeKind::kFlat) ||
+      kind_int > static_cast<int>(SchemeKind::kHybrid)) {
+    return Status::InvalidArgument("restore: arena has no valid scheme tag");
+  }
+  const SchemeKind kind = static_cast<SchemeKind>(kind_int);
+  Result<std::vector<Channel>> channels = arena->InflateChannels();
+  if (!channels.ok()) return channels.status();
+  Channel channel = std::move(channels.value().front());
+  const std::vector<std::int64_t> aux = arena->aux();
+  const auto aux_int = [&aux](std::size_t i) {
+    return static_cast<int>(aux[i]);
+  };
+  const auto check_aux = [&aux, kind](std::size_t want) -> Status {
+    if (aux.size() != want) {
+      return Status::InvalidArgument(
+          std::string("restore: ") + SchemeKindToString(kind) + " expects " +
+          std::to_string(want) + " aux scalars, arena carries " +
+          std::to_string(aux.size()));
+    }
+    return Status::Ok();
+  };
+
+  Result<std::unique_ptr<BroadcastScheme>> inner =
+      Status::InvalidArgument("unknown scheme kind");
+  switch (kind) {
+    case SchemeKind::kFlat: {
+      Status s = check_aux(0);
+      if (!s.ok()) return s;
+      inner = Wrap(FlatBroadcast::Restore(dataset, std::move(channel)));
+      break;
+    }
+    case SchemeKind::kOneM: {
+      Status s = check_aux(1);
+      if (!s.ok()) return s;
+      inner = Wrap(OneMIndexing::Restore(dataset, geometry, std::move(channel),
+                                         aux_int(0)));
+      break;
+    }
+    case SchemeKind::kDistributed: {
+      Status s = check_aux(2);
+      if (!s.ok()) return s;
+      inner = Wrap(DistributedIndexing::Restore(
+          dataset, geometry, std::move(channel), aux_int(0), aux_int(1)));
+      break;
+    }
+    case SchemeKind::kHashing: {
+      Status s = check_aux(1);
+      if (!s.ok()) return s;
+      inner =
+          Wrap(SimpleHashing::Restore(dataset, std::move(channel), aux_int(0)));
+      break;
+    }
+    case SchemeKind::kSignature: {
+      Status s = check_aux(0);
+      if (!s.ok()) return s;
+      inner = Wrap(SignatureIndexing::Restore(
+          dataset, geometry, SignatureParamsOf(params), std::move(channel)));
+      break;
+    }
+    case SchemeKind::kIntegratedSignature: {
+      Status s = check_aux(1);
+      if (!s.ok()) return s;
+      inner = Wrap(IntegratedSignatureIndexing::Restore(
+          dataset, geometry, SignatureParamsOf(params), std::move(channel),
+          aux_int(0)));
+      break;
+    }
+    case SchemeKind::kMultiLevelSignature: {
+      Status s = check_aux(1);
+      if (!s.ok()) return s;
+      inner = Wrap(MultiLevelSignatureIndexing::Restore(
+          dataset, geometry, SignatureParamsOf(params), std::move(channel),
+          aux_int(0)));
+      break;
+    }
+    case SchemeKind::kBroadcastDisks: {
+      Status s = check_aux(0);
+      if (!s.ok()) return s;
+      inner = Wrap(BroadcastDisks::Restore(dataset, params.broadcast_disks,
+                                           std::move(channel)));
+      break;
+    }
+    case SchemeKind::kHybrid: {
+      Status s = check_aux(2);
+      if (!s.ok()) return s;
+      inner = Wrap(HybridIndexing::Restore(dataset, geometry,
+                                           SignatureParamsOf(params),
+                                           std::move(channel), aux_int(0),
+                                           aux_int(1)));
+      break;
+    }
+  }
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<BroadcastScheme>(std::make_unique<ArenaBackedScheme>(
+      std::move(arena), std::move(inner).value()));
 }
 
 }  // namespace airindex

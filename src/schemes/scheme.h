@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "broadcast/arena.h"
 #include "broadcast/geometry.h"
 #include "data/dataset.h"
 #include "schemes/access.h"
@@ -53,6 +54,30 @@ struct SchemeParams {
 Result<std::unique_ptr<BroadcastScheme>> BuildScheme(
     SchemeKind kind, std::shared_ptr<const Dataset> dataset,
     const BucketGeometry& geometry, const SchemeParams& params = {});
+
+/// Flattens a built single-channel scheme program into one relocatable
+/// arena buffer: the channel's buckets plus the scheme's resolved
+/// scalars (its aux section), tagged with `kind` and the two cache
+/// fingerprints. `scheme` must be the concrete scheme BuildScheme(kind,
+/// ...) produced — a kind mismatch is an InvalidArgument, not UB.
+Result<ProgramArena> FlattenSchemeProgram(SchemeKind kind,
+                                          const BroadcastScheme& scheme,
+                                          std::uint64_t dataset_fingerprint,
+                                          std::uint64_t params_fingerprint);
+
+/// Rebuilds a ready-to-query scheme from a flattened arena without
+/// re-running the channel construction: the channel is inflated from the
+/// arena (bucket key views point into the arena's string pool — the
+/// returned scheme co-owns `arena` to keep them alive) and cheap
+/// deterministic auxiliaries (index trees, signature generators, packed
+/// signature tables, occurrence maps) are reconstructed from `dataset`,
+/// `geometry`, `params` and the arena's aux scalars. Observably
+/// identical to the freshly built scheme: every Access() walk returns
+/// the same result, so simulation output stays bit-identical.
+Result<std::unique_ptr<BroadcastScheme>> RestoreSchemeFromArena(
+    std::shared_ptr<const ProgramArena> arena,
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    const SchemeParams& params);
 
 }  // namespace airindex
 

@@ -1,6 +1,7 @@
 #include "schemes/signature.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "des/random.h"
@@ -334,6 +335,45 @@ double SignatureIndexing::MeasureFalseDropRate(int sample_queries,
     pairs_checked += num - 1;
   }
   return static_cast<double>(drops) / static_cast<double>(pairs_checked);
+}
+
+Result<SignatureIndexing> SignatureIndexing::Restore(
+    std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+    SignatureParams params, Channel channel) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument(
+        "signature restore needs a non-empty dataset");
+  }
+  SignatureGenerator generator(geometry, params);
+  const int words = generator.words();
+  const int num_records = dataset->size();
+  std::vector<std::uint64_t> packed(
+      static_cast<std::size_t>(num_records) * static_cast<std::size_t>(words),
+      0);
+  std::vector<bool> seen(static_cast<std::size_t>(num_records), false);
+  int recovered = 0;
+  for (std::size_t i = 0; i < channel.num_buckets(); ++i) {
+    const Bucket& bucket = channel.bucket(i);
+    if (bucket.kind != BucketKind::kSignature) continue;
+    if (bucket.record_id < 0 || bucket.record_id >= num_records ||
+        bucket.signature.size() != static_cast<std::size_t>(words) ||
+        seen[static_cast<std::size_t>(bucket.record_id)]) {
+      return Status::InvalidArgument(
+          "signature restore: malformed signature bucket");
+    }
+    std::copy(bucket.signature.begin(), bucket.signature.end(),
+              packed.begin() + static_cast<std::size_t>(bucket.record_id) *
+                                   static_cast<std::size_t>(words));
+    seen[static_cast<std::size_t>(bucket.record_id)] = true;
+    ++recovered;
+  }
+  if (recovered != num_records) {
+    return Status::InvalidArgument(
+        "signature restore: channel carries " + std::to_string(recovered) +
+        " record signatures for " + std::to_string(num_records) + " records");
+  }
+  return SignatureIndexing(std::move(dataset), generator, std::move(channel),
+                           std::move(packed));
 }
 
 }  // namespace airindex

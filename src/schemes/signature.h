@@ -90,6 +90,13 @@ class SignatureIndexing : public BroadcastScheme {
       std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
       SignatureParams params = SignatureParams());
 
+  /// Reattaches a channel inflated from a program arena. The packed
+  /// signature table is recovered from the channel's signature buckets
+  /// (each carries its record's full signature), so no rehashing runs.
+  static Result<SignatureIndexing> Restore(
+      std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
+      SignatureParams params, Channel channel);
+
   const Channel& channel() const override { return channel_; }
   const char* name() const override { return "signature indexing"; }
 

@@ -141,6 +141,46 @@ TEST(BenchCompareTest, BenchNameMismatchFails) {
   EXPECT_FALSE(CompareBenchReports(base, cand, CompareOptions{}).passed());
 }
 
+TEST(BenchCompareTest, StrictCountersFailOnMissingCounter) {
+  const BenchReport base = BaseReport();
+  BenchReport cand = BaseReport();
+  cand.counters = MetricsRegistry();  // counter section entirely absent
+
+  // Without --strict-counters a missing counter section passes silently
+  // (counters are telemetry, not gated metrics)...
+  EXPECT_TRUE(CompareBenchReports(base, cand, CompareOptions{}).passed());
+
+  // ...under --strict-counters it is a hard failure naming the counter.
+  CompareOptions strict;
+  strict.strict_counters = true;
+  const CompareResult result = CompareBenchReports(base, cand, strict);
+  ASSERT_FALSE(result.passed());
+  bool named = false;
+  for (const std::string& failure : result.failures) {
+    if (failure.find("sim.events_processed") != std::string::npos &&
+        failure.find("missing from candidate") != std::string::npos) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+
+  // The reverse direction — candidate grew a counter the baseline lacks
+  // — is equally a hard failure (it would otherwise let new telemetry
+  // slip past the baselines unnoticed).
+  BenchReport extra = BaseReport();
+  extra.counters.Increment("sim.surprise_counter", 1);
+  const CompareResult grown = CompareBenchReports(base, extra, strict);
+  ASSERT_FALSE(grown.passed());
+  bool extra_named = false;
+  for (const std::string& failure : grown.failures) {
+    if (failure.find("sim.surprise_counter") != std::string::npos &&
+        failure.find("extra counter") != std::string::npos) {
+      extra_named = true;
+    }
+  }
+  EXPECT_TRUE(extra_named);
+}
+
 TEST(BenchCompareTest, StrictCountersSurfaceSchedulerTelemetry) {
   BenchReport base = BaseReport();
   base.timing.replications_run = 44;

@@ -17,6 +17,12 @@
 // And on the simulation level:
 //  I6. ParallelExperiment results are bit-identical for jobs 1, 4 and 8 —
 //      means, outcome counters and the full metrics registry.
+//
+// Arena property (single-channel cases, every walk case):
+//  I7. flatten → snapshot-serialize → deserialize → restore is lossless:
+//      the deserialized arena and a re-flatten of the restored scheme are
+//      byte-identical to the original arena, and the restored scheme
+//      answers every probe of the case identically to the built one.
 
 #include <cstdint>
 #include <memory>
@@ -25,6 +31,7 @@
 
 #include <gtest/gtest.h>
 
+#include "broadcast/snapshot.h"
 #include "core/experiment.h"
 #include "core/simulator.h"
 #include "data/dataset.h"
@@ -135,6 +142,61 @@ void CheckWalkInvariants(const AccessResult& result, bool present,
   }
 }
 
+// I7 support: a restored scheme must be observably identical to the
+// built one — every field a walk can produce.
+void ExpectSameAccess(const AccessResult& built, const AccessResult& restored) {
+  EXPECT_EQ(built.found, restored.found);
+  EXPECT_EQ(built.access_time, restored.access_time);
+  EXPECT_EQ(built.tuning_time, restored.tuning_time);
+  EXPECT_EQ(built.probes, restored.probes);
+  EXPECT_EQ(built.false_drops, restored.false_drops);
+  EXPECT_EQ(built.index_probes, restored.index_probes);
+  EXPECT_EQ(built.overflow_hops, restored.overflow_hops);
+  EXPECT_EQ(built.retries, restored.retries);
+  EXPECT_EQ(built.anomalies, restored.anomalies);
+  EXPECT_EQ(built.abandoned, restored.abandoned);
+}
+
+/// I7: arena round trip for a single-channel program. Returns the
+/// restored scheme so the walk loops can shadow every probe.
+std::unique_ptr<BroadcastScheme> RoundTripThroughArena(
+    const RandomCase& c, std::shared_ptr<const Dataset> dataset,
+    const BroadcastScheme& program) {
+  auto arena = FlattenSchemeProgram(c.scheme, program,
+                                    /*dataset_fingerprint=*/11,
+                                    /*params_fingerprint=*/22);
+  if (!arena.ok()) {
+    ADD_FAILURE() << "flatten failed: " << arena.status().ToString();
+    return nullptr;
+  }
+  const std::vector<std::uint8_t> wire =
+      ProgramSnapshot::Serialize(arena.value());
+  auto loaded = ProgramSnapshot::Deserialize(wire);
+  if (!loaded.ok()) {
+    ADD_FAILURE() << "deserialize failed: " << loaded.status().ToString();
+    return nullptr;
+  }
+  EXPECT_EQ(loaded.value().bytes(), arena.value().bytes());
+  EXPECT_EQ(ProgramSnapshot::Serialize(loaded.value()), wire);
+  auto shared = std::make_shared<const ProgramArena>(std::move(loaded).value());
+  auto restored =
+      RestoreSchemeFromArena(shared, std::move(dataset), c.geometry,
+                             SchemeParams{});
+  if (!restored.ok()) {
+    ADD_FAILURE() << "restore failed: " << restored.status().ToString();
+    return nullptr;
+  }
+  auto reflattened = FlattenSchemeProgram(c.scheme, *restored.value(),
+                                          /*dataset_fingerprint=*/11,
+                                          /*params_fingerprint=*/22);
+  if (!reflattened.ok()) {
+    ADD_FAILURE() << "re-flatten failed: " << reflattened.status().ToString();
+    return nullptr;
+  }
+  EXPECT_EQ(reflattened.value().bytes(), shared->bytes());
+  return std::move(restored).value();
+}
+
 TEST(InvariantsTest, RandomizedWalks) {
   for (std::uint64_t case_id = 0; case_id < kNumWalkCases; ++case_id) {
     Rng rng(ReplicationSeed(kHarnessSeed, case_id));
@@ -163,6 +225,12 @@ TEST(InvariantsTest, RandomizedWalks) {
       program = std::move(built).value();
       horizon = 2 * program->channel().cycle_bytes();
     }
+    // I7 (single-channel): the restored twin shadows every probe below.
+    std::unique_ptr<BroadcastScheme> restored;
+    if (c.multichannel.num_channels == 1) {
+      restored = RoundTripThroughArena(c, dataset, *program);
+      ASSERT_NE(restored, nullptr);
+    }
 
     // Present keys at random tune-in times.
     const int present_probes = std::min(c.num_records, 24);
@@ -176,6 +244,10 @@ TEST(InvariantsTest, RandomizedWalks) {
       SCOPED_TRACE("present record " + std::to_string(index) + " tune_in " +
                    std::to_string(tune_in));
       CheckWalkInvariants(result, /*present=*/true, c);
+      if (restored != nullptr) {
+        ExpectSameAccess(result,
+                         restored->Access(dataset->record(index).key, tune_in));
+      }
     }
     // Absent keys interleaved with the data.
     for (int i = 0; i < 8; ++i) {
@@ -188,6 +260,10 @@ TEST(InvariantsTest, RandomizedWalks) {
       SCOPED_TRACE("absent slot " + std::to_string(slot) + " tune_in " +
                    std::to_string(tune_in));
       CheckWalkInvariants(result, /*present=*/false, c);
+      if (restored != nullptr) {
+        ExpectSameAccess(result,
+                         restored->Access(dataset->absent_key(slot), tune_in));
+      }
     }
   }
 }

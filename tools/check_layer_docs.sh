@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Documentation convention check, run from ctest (see tests/CMakeLists.txt).
 #
-# Enforces three invariants that keep the docs anchored to the code:
+# Enforces four invariants that keep the docs and CI anchored to the code:
 #   1. every src/<module>/ has at least one header carrying a
 #      "// Layer: <n> (<module>)" comment naming its layer,
 #   2. every module name appears in docs/ARCHITECTURE.md (so a new module
-#      cannot land without the architecture doc mentioning it), and
+#      cannot land without the architecture doc mentioning it),
 #   3. every bench binary registered in bench/CMakeLists.txt — the
 #      airindex_add_bench(...) drivers plus micro_benchmarks — has a
 #      "| `name`" table row in docs/BENCHMARKS.md (so a new bench cannot
-#      land undocumented).
+#      land undocumented), and
+#   4. every airindex_add_bench(...) driver either appears in the CI
+#      smoke-bench matrix (.github/workflows/ci.yml) or carries a
+#      "# ci-exempt" marker on its registration line (so a new bench
+#      cannot silently land ungated).
 #
 # Usage: tools/check_layer_docs.sh [repo-root]
 
@@ -54,8 +58,29 @@ for bench in $benches; do
   fi
 done
 
+ci_workflow="$root/.github/workflows/ci.yml"
+if [ ! -f "$ci_workflow" ]; then
+  echo "FAIL: $ci_workflow is missing" >&2
+  exit 1
+fi
+# Benches whose registration line ends in "# ci-exempt" are deliberately
+# not smoke-gated (full sweeps too slow for CI); everything else must be
+# referenced by the smoke-bench matrix.
+gated="$(sed -n \
+  's/^airindex_add_bench(\([a-z0-9_]*\))[[:space:]]*$/\1/p' "$bench_cmake")"
+for bench in $gated; do
+  if ! grep -q "binary: $bench" "$ci_workflow"; then
+    echo "FAIL: bench '$bench' is not in the CI smoke-bench matrix" \
+         "(.github/workflows/ci.yml); add a matrix entry with" \
+         "\"binary: $bench\" or mark it '# ci-exempt' in" \
+         "bench/CMakeLists.txt" >&2
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "OK: every src/ module names its layer, docs/ARCHITECTURE.md covers" \
-       "every module, and docs/BENCHMARKS.md covers every bench binary"
+       "every module, docs/BENCHMARKS.md covers every bench binary, and" \
+       "every non-exempt bench is gated by the CI smoke-bench matrix"
 fi
 exit $status

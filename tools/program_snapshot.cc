@@ -1,0 +1,361 @@
+// Inspect / diff / round-trip broadcast-program snapshots (the on-disk
+// form of broadcast/arena.h programs; see broadcast/snapshot.h).
+//
+// Usage:
+//   program_snapshot info FILE
+//       Print the snapshot's arena header: scheme, sections, sizes,
+//       fingerprints, checksum.
+//   program_snapshot diff A B
+//       Byte-compare two snapshots; names the first differing section on
+//       mismatch. Exit 1 when they differ.
+//   program_snapshot roundtrip [--scheme NAME] [--records N]
+//       Build the scheme(s) in-process, then assert both byte-identity
+//       laws the cache depends on: Serialize → Deserialize → Serialize
+//       is byte-identical, and restore → re-flatten reproduces the arena
+//       buffer exactly. NAME defaults to `all`. The CI snapshot-roundtrip
+//       step runs this per scheme.
+//   program_snapshot write --scheme NAME [--records N] FILE
+//       Build a scheme and write its snapshot (golden-file regeneration;
+//       see tests/data/README.md).
+//   program_snapshot cache-key [--scheme NAME] [--records N]
+//       Print the program-cache file name this configuration maps to
+//       (the CI actions/cache key hashes these).
+//
+// Exit status: 0 pass, 1 mismatch/corruption, 2 usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "broadcast/arena.h"
+#include "broadcast/snapshot.h"
+#include "core/program_cache.h"
+#include "data/dataset.h"
+#include "schemes/scheme.h"
+
+namespace airindex {
+namespace {
+
+struct NamedScheme {
+  const char* name;
+  SchemeKind kind;
+};
+
+constexpr NamedScheme kSchemes[] = {
+    {"flat", SchemeKind::kFlat},
+    {"one_m", SchemeKind::kOneM},
+    {"distributed", SchemeKind::kDistributed},
+    {"hashing", SchemeKind::kHashing},
+    {"signature", SchemeKind::kSignature},
+    {"integrated", SchemeKind::kIntegratedSignature},
+    {"multilevel", SchemeKind::kMultiLevelSignature},
+    {"disks", SchemeKind::kBroadcastDisks},
+    {"hybrid", SchemeKind::kHybrid},
+};
+
+bool ParseScheme(const std::string& name, SchemeKind* kind) {
+  for (const NamedScheme& scheme : kSchemes) {
+    if (name == scheme.name) {
+      *kind = scheme.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+struct BuiltProgram {
+  std::shared_ptr<const Dataset> dataset;
+  std::unique_ptr<BroadcastScheme> scheme;
+  ProgramArena arena;
+};
+
+Result<BuiltProgram> BuildProgram(SchemeKind kind, int num_records) {
+  DatasetConfig dataset_config;
+  dataset_config.num_records = num_records;
+  Result<Dataset> generated = Dataset::Generate(dataset_config);
+  if (!generated.ok()) return generated.status();
+  auto dataset =
+      std::make_shared<const Dataset>(std::move(generated).value());
+  const BucketGeometry geometry;
+  const SchemeParams params;
+  Result<std::unique_ptr<BroadcastScheme>> scheme =
+      BuildScheme(kind, dataset, geometry, params);
+  if (!scheme.ok()) return scheme.status();
+  Result<ProgramArena> arena = FlattenSchemeProgram(
+      kind, *scheme.value(), DatasetFingerprint(*dataset),
+      ProgramParamsFingerprint(kind, geometry, params));
+  if (!arena.ok()) return arena.status();
+  return BuiltProgram{std::move(dataset), std::move(scheme).value(),
+                      std::move(arena).value()};
+}
+
+Result<std::vector<std::uint8_t>> ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+const char* SectionAtOffset(const ArenaHeader& header, std::size_t offset) {
+  if (offset < sizeof(ArenaHeader)) return "header";
+  if (offset >= header.aux_offset) return "aux";
+  if (offset >= header.strings_offset) return "string pool";
+  if (offset >= header.words_offset) return "word pool";
+  if (offset >= header.entries_offset) return "pointer entries";
+  if (offset >= header.buckets_offset) return "buckets";
+  if (offset >= header.channels_offset) return "channel table";
+  return "header padding";
+}
+
+int Info(const std::string& path) {
+  Result<ProgramArena> loaded = ProgramSnapshot::LoadFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const ProgramArena& arena = loaded.value();
+  const ArenaHeader& header = arena.header();
+  const int kind = header.scheme_kind;
+  const char* kind_name =
+      kind >= 0 ? SchemeKindToString(static_cast<SchemeKind>(kind))
+                : "(untagged)";
+  std::printf("snapshot %s\n", path.c_str());
+  std::printf("  format version      %u\n", header.format_version);
+  std::printf("  scheme              %d (%s)\n", kind, kind_name);
+  std::printf("  channels            %u\n", header.num_channels);
+  std::printf("  switch cost (B)     %lld\n",
+              static_cast<long long>(header.switch_cost_bytes));
+  std::printf("  buckets             %u\n", header.num_buckets);
+  std::printf("  pointer entries     %u\n", header.num_entries);
+  std::printf("  signature words     %u\n", header.num_words);
+  std::printf("  string pool (B)     %u\n", header.string_pool_bytes);
+  std::printf("  aux scalars         %u\n", header.num_aux);
+  std::printf("  arena bytes         %u\n", header.total_bytes);
+  std::printf("  dataset fingerprint %016llx\n",
+              static_cast<unsigned long long>(header.dataset_fingerprint));
+  std::printf("  params fingerprint  %016llx\n",
+              static_cast<unsigned long long>(header.params_fingerprint));
+  std::printf("  arena checksum      %016llx\n",
+              static_cast<unsigned long long>(arena.Checksum()));
+  return 0;
+}
+
+int Diff(const std::string& path_a, const std::string& path_b) {
+  Result<std::vector<std::uint8_t>> a = ReadAll(path_a);
+  Result<std::vector<std::uint8_t>> b = ReadAll(path_b);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 2;
+  }
+  if (a.value() == b.value()) {
+    std::printf("identical (%zu bytes)\n", a.value().size());
+    return 0;
+  }
+  const std::size_t limit = std::min(a.value().size(), b.value().size());
+  std::size_t first_diff = limit;
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (a.value()[i] != b.value()[i]) {
+      first_diff = i;
+      break;
+    }
+  }
+  std::printf("differ: %zu vs %zu bytes, first difference at offset %zu\n",
+              a.value().size(), b.value().size(), first_diff);
+  // Name the arena section when at least one side parses cleanly.
+  Result<ProgramArena> parsed = ProgramSnapshot::Deserialize(a.value());
+  if (!parsed.ok()) parsed = ProgramSnapshot::Deserialize(b.value());
+  if (parsed.ok() && first_diff >= sizeof(SnapshotHeader)) {
+    std::printf("  arena section: %s\n",
+                SectionAtOffset(parsed.value().header(),
+                                first_diff - sizeof(SnapshotHeader)));
+  } else if (first_diff < sizeof(SnapshotHeader)) {
+    std::printf("  within the snapshot header\n");
+  }
+  return 1;
+}
+
+int RoundtripOne(SchemeKind kind, int num_records) {
+  const char* kind_name = SchemeKindToString(kind);
+  Result<BuiltProgram> built = BuildProgram(kind, num_records);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s: build failed: %s\n", kind_name,
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::uint8_t> serialized =
+      ProgramSnapshot::Serialize(built.value().arena);
+  Result<ProgramArena> reloaded = ProgramSnapshot::Deserialize(serialized);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "%s: deserialize failed: %s\n", kind_name,
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  if (ProgramSnapshot::Serialize(reloaded.value()) != serialized) {
+    std::fprintf(stderr, "%s: serialize->load->serialize not byte-identical\n",
+                 kind_name);
+    return 1;
+  }
+  // Restore a scheme from the loaded arena and flatten it again: the
+  // rebuilt buffer must reproduce the original byte-for-byte.
+  auto arena =
+      std::make_shared<const ProgramArena>(std::move(reloaded).value());
+  Result<std::unique_ptr<BroadcastScheme>> restored = RestoreSchemeFromArena(
+      arena, built.value().dataset, BucketGeometry(), SchemeParams());
+  if (!restored.ok()) {
+    std::fprintf(stderr, "%s: restore failed: %s\n", kind_name,
+                 restored.status().ToString().c_str());
+    return 1;
+  }
+  Result<ProgramArena> reflattened = FlattenSchemeProgram(
+      kind, *restored.value(), arena->dataset_fingerprint(),
+      arena->params_fingerprint());
+  if (!reflattened.ok()) {
+    std::fprintf(stderr, "%s: re-flatten failed: %s\n", kind_name,
+                 reflattened.status().ToString().c_str());
+    return 1;
+  }
+  if (reflattened.value().bytes() != arena->bytes()) {
+    std::fprintf(stderr, "%s: restore->flatten not byte-identical\n",
+                 kind_name);
+    return 1;
+  }
+  std::printf("%-22s ok (%u buckets, %u arena bytes)\n", kind_name,
+              arena->num_buckets(), arena->header().total_bytes);
+  return 0;
+}
+
+int Roundtrip(const std::string& scheme_name, int num_records) {
+  if (scheme_name == "all") {
+    int failures = 0;
+    for (const NamedScheme& scheme : kSchemes) {
+      failures += RoundtripOne(scheme.kind, num_records);
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  SchemeKind kind;
+  if (!ParseScheme(scheme_name, &kind)) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name.c_str());
+    return 2;
+  }
+  return RoundtripOne(kind, num_records);
+}
+
+int WriteSnapshot(const std::string& scheme_name, int num_records,
+                  const std::string& path) {
+  SchemeKind kind;
+  if (!ParseScheme(scheme_name, &kind)) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name.c_str());
+    return 2;
+  }
+  Result<BuiltProgram> built = BuildProgram(kind, num_records);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = ProgramSnapshot::WriteFile(path, built.value().arena);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(),
+              sizeof(SnapshotHeader) + built.value().arena.bytes().size());
+  return 0;
+}
+
+int CacheKey(const std::string& scheme_name, int num_records) {
+  const auto print_key = [num_records](SchemeKind kind) -> int {
+    Result<BuiltProgram> built = BuildProgram(kind, num_records);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    const ProgramCache cache(".");
+    const std::string path = cache.SnapshotPath(
+        kind, built.value().arena.dataset_fingerprint(),
+        built.value().arena.params_fingerprint());
+    std::printf("%s\n", path.substr(2).c_str());  // strip the "./"
+    return 0;
+  };
+  if (scheme_name == "all") {
+    int failures = 0;
+    for (const NamedScheme& scheme : kSchemes) failures += print_key(scheme.kind);
+    return failures == 0 ? 0 : 1;
+  }
+  SchemeKind kind;
+  if (!ParseScheme(scheme_name, &kind)) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name.c_str());
+    return 2;
+  }
+  return print_key(kind);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: program_snapshot info FILE\n"
+               "       program_snapshot diff A B\n"
+               "       program_snapshot roundtrip [--scheme NAME] "
+               "[--records N]\n"
+               "       program_snapshot write --scheme NAME [--records N] "
+               "FILE\n"
+               "       program_snapshot cache-key [--scheme NAME] "
+               "[--records N]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::string scheme_name = "all";
+  int num_records = 2000;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      scheme_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      num_records = std::atoi(argv[++i]);
+      if (num_records < 1) {
+        std::fprintf(stderr, "--records must be >= 1\n");
+        return 2;
+      }
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (command == "info" && positional.size() == 1) {
+    return Info(positional[0]);
+  }
+  if (command == "diff" && positional.size() == 2) {
+    return Diff(positional[0], positional[1]);
+  }
+  if (command == "roundtrip" && positional.empty()) {
+    return Roundtrip(scheme_name, num_records);
+  }
+  if (command == "write" && positional.size() == 1 && scheme_name != "all") {
+    return WriteSnapshot(scheme_name, num_records, positional[0]);
+  }
+  if (command == "cache-key" && positional.empty()) {
+    return CacheKey(scheme_name, num_records);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }
