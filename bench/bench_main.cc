@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "schemes/access_path.h"
+
 namespace airindex {
 
 namespace {
@@ -116,6 +118,34 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
         std::exit(2);
       }
       options.program_cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--shard requires a value (I/N)\n");
+        std::exit(2);
+      }
+      Result<ShardSpec> spec = ParseShardSpec(argv[++i]);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        std::exit(2);
+      }
+      options.shard = spec.value();
+    } else if (std::strcmp(argv[i], "--access-path") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--access-path requires a value (arena or pointer)\n");
+        std::exit(2);
+      }
+      ++i;
+      if (std::strcmp(argv[i], "arena") == 0) {
+        SetGlobalAccessPath(AccessPath::kArena);
+      } else if (std::strcmp(argv[i], "pointer") == 0) {
+        SetGlobalAccessPath(AccessPath::kPointer);
+      } else {
+        std::fprintf(stderr,
+                     "unknown access path '%s' (want arena or pointer)\n",
+                     argv[i]);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--allocation") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--allocation requires a strategy name\n");
@@ -149,9 +179,13 @@ void ApplyWorkloadOptions(const BenchOptions& options,
   config->program_cache_dir = options.program_cache_dir;
 }
 
-void PrintProgramCacheSummary(const ProgramCache* cache) {
+void PrintProgramCacheSummary(const ProgramCache* cache,
+                              const ShardSpec& shard) {
   if (cache == nullptr) return;
   const MetricsRegistry metrics = cache->MetricsSnapshot();
+  if (shard.active()) {
+    std::fprintf(stderr, "[shard %d/%d] ", shard.index + 1, shard.count);
+  }
   std::fprintf(stderr,
                "program cache (%s): builds=%lld build_seconds=%.3f "
                "snapshot_hits=%lld snapshot_misses=%lld memory_hits=%lld "
@@ -239,10 +273,31 @@ void BenchReporter::MergeCounters(const MetricsRegistry& metrics) {
   report_.counters.Merge(metrics);
 }
 
+void BenchReporter::SetShard(const ShardSpec& spec) {
+  if (!spec.active()) return;
+  sharded_ = true;
+  shard_.spec = spec;
+}
+
+void BenchReporter::AttachShardCell(ShardCell cell) {
+  if (!sharded_) return;
+  shard_.cells.push_back(std::move(cell));
+}
+
+void BenchReporter::AddDerivedMetric(const DerivedMetricSpec& spec) {
+  if (!sharded_ || shard_.cells.empty()) return;
+  shard_.cells.back().derived.push_back(spec);
+}
+
 Status BenchReporter::Finish(const RunTiming& timing) {
   if (json_path_.empty()) return Status::Ok();
   report_.timing = timing;
-  return WriteJsonFile(json_path_, BenchReportToJson(report_));
+  JsonValue root = BenchReportToJson(report_);
+  // The shard section rides after the standard blocks; unsharded
+  // readers (BenchReportFromJson, bench_compare) ignore unknown root
+  // keys, so a partial is still a well-formed report.
+  if (sharded_) root.Set("shard", ShardSectionToJson(shard_));
+  return WriteJsonFile(json_path_, root);
 }
 
 }  // namespace airindex

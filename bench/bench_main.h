@@ -35,6 +35,19 @@
 //                  N clients share one broadcast cycle via the batched
 //                  struct-of-arrays engine (client/fleet.h). 0 = the
 //                  bench's own size grid; single-client benches ignore it
+//   --shard I/N    run only shard I of N of the sweep (core/shard.h):
+//                  the replication units of the whole grid are split
+//                  deterministically across N processes, and the JSON
+//                  report becomes a *partial* carrying a `shard` section
+//                  for tools/bench_merge to combine. Sweep benches
+//                  honour it; fig_fleet rejects it (the fleet engine has
+//                  its own internal sharding)
+//   --access-path P  client walk implementation: arena (default, offset
+//                  arithmetic over the flattened program) or pointer
+//                  (the original Bucket-object walk). Observably
+//                  identical by construction — the flag exists for
+//                  micro-benchmarking and bisection, and is deliberately
+//                  kept out of the JSON config block
 //
 // BenchReporter accumulates the report while the bench prints its usual
 // tables, then writes the JSON file on Finish() when --json was given.
@@ -50,6 +63,7 @@
 #include "core/json_report.h"
 #include "core/program_cache.h"
 #include "core/report.h"
+#include "core/shard.h"
 #include "core/simulator.h"
 
 namespace airindex {
@@ -79,6 +93,9 @@ struct BenchOptions {
   /// (core/program_cache.h). Empty disables caching. Never affects
   /// results or the JSON report — only setup wall time.
   std::string program_cache_dir;
+  /// --shard I/N, already converted to the 0-based internal form. The
+  /// default ({0, 1}) is the ordinary unsharded run.
+  ShardSpec shard;
 };
 
 /// Parses the shared flags, ignoring anything it does not recognise (so a
@@ -102,8 +119,11 @@ void ApplyWorkloadOptions(const BenchOptions& options, TestbedConfig* config);
 /// Prints one program-cache telemetry line to stderr (no-op on nullptr —
 /// benches call it unconditionally with engine.program_cache()). Kept off
 /// stdout and out of the JSON report so warm and cold cache runs stay
-/// byte-identical; the counters are documented in docs/METRICS.md.
-void PrintProgramCacheSummary(const ProgramCache* cache);
+/// byte-identical; the counters are documented in docs/METRICS.md. On a
+/// sharded run the line is prefixed with "[shard I/N]" so N processes
+/// writing to one terminal (or one CI log) stay attributable.
+void PrintProgramCacheSummary(const ProgramCache* cache,
+                              const ShardSpec& shard = {});
 
 /// Collects bench results into a BenchReport and writes it when --json
 /// was requested.
@@ -130,6 +150,21 @@ class BenchReporter {
   /// engine reports through core/fleet_runner.h, not SimulationResult).
   void MergeCounters(const MetricsRegistry& metrics);
 
+  /// Marks this report as shard `spec` of a sharded sweep. No-op for the
+  /// default ({0, 1}) spec, so benches call it unconditionally. A marked
+  /// report gains a `shard` root object on Finish — bench_merge's input.
+  void SetShard(const ShardSpec& spec);
+
+  /// Records one sweep cell's shard payload (from
+  /// ParallelExperiment::shard_cells()), in point order. No-op unless
+  /// SetShard marked the report.
+  void AttachShardCell(ShardCell cell);
+
+  /// Declares that the last attached cell's point carries a derived
+  /// counter-ratio metric, so bench_merge can recompute it. No-op unless
+  /// SetShard marked the report.
+  void AddDerivedMetric(const DerivedMetricSpec& spec);
+
   /// Writes the JSON report when --json was given; no-op otherwise.
   /// Returns the write status so the driver can fail loudly.
   Status Finish(const RunTiming& timing);
@@ -139,6 +174,8 @@ class BenchReporter {
 
  private:
   BenchReport report_;
+  ShardSection shard_;
+  bool sharded_ = false;
   std::string json_path_;
 };
 

@@ -4,8 +4,9 @@
 // simulated series "(S)" and the analytical series "(A)".
 //
 // Usage: fig4_schemes_vs_records [--quick] [--csv] [--jobs N]
-//                                [--records N] [--json PATH]
-// (shared bench flags — see bench/bench_main.h).
+//                                [--records N] [--json PATH] [--shard I/N]
+// (shared bench flags — see bench/bench_main.h; with --shard the JSON
+// output is a partial report for tools/bench_merge).
 
 #include <iostream>
 #include <string>
@@ -56,6 +57,7 @@ int Main(int argc, char** argv) {
   ReportTable tuning_table(columns);
 
   BenchReporter reporter("fig4_schemes_vs_records", options);
+  reporter.SetShard(options.shard);
   {
     std::string counts;
     for (const int n : record_counts) {
@@ -87,7 +89,8 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  ParallelExperiment experiment({.jobs = options.jobs});
+  ParallelExperiment experiment(
+      {.jobs = options.jobs, .shard = options.shard});
   const auto runs = experiment.RunSweep(configs);
 
   std::size_t index = 0;
@@ -95,6 +98,7 @@ int Main(int argc, char** argv) {
     std::vector<std::string> access_row = {std::to_string(num_records)};
     std::vector<std::string> tuning_row = {std::to_string(num_records)};
     for (const auto& scheme : schemes) {
+      const std::size_t cell = index;
       TestbedConfig config = configs[index];
       const Result<SimulationResult>& run = runs[index++];
       if (!run.ok()) {
@@ -105,6 +109,9 @@ int Main(int argc, char** argv) {
       reporter.AddSimulationPoint(
           {{"records", std::to_string(num_records)}, {"scheme", scheme.label}},
           sim);
+      if (options.shard.active()) {
+        reporter.AttachShardCell(experiment.shard_cells()[cell]);
+      }
 
       AnalyticalEstimate model;
       switch (scheme.kind) {
@@ -156,7 +163,7 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
-  PrintProgramCacheSummary(experiment.program_cache());
+  PrintProgramCacheSummary(experiment.program_cache(), options.shard);
   if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
     std::cerr << "json report failed: " << s.ToString() << "\n";
     return 1;

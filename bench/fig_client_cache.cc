@@ -13,10 +13,11 @@
 //
 // Usage: fig_client_cache [--quick] [--csv] [--jobs N] [--records N]
 //                         [--session-length K] [--repeat-prob P]
-//                         [--cache-warmup N] [--json PATH]
+//                         [--cache-warmup N] [--json PATH] [--shard I/N]
 // (shared bench flags — see bench/bench_main.h; cache size, skew,
 // update rate and policy are this bench's sweep axes, so --cache-size /
-// --zipf / --update-rate / --cache-policy are ignored here.)
+// --zipf / --update-rate / --cache-policy are ignored here. With
+// --shard the JSON output is a partial report for tools/bench_merge.)
 
 #include <algorithm>
 #include <cmath>
@@ -38,6 +39,13 @@ namespace {
 
 constexpr CachePolicy kPolicies[] = {CachePolicy::kLru, CachePolicy::kLfu,
                                      CachePolicy::kPix};
+
+/// Fresh-hit ratio as a binomial proportion with a 99% half-width
+/// (z = 2.576) — evaluated by core/shard.h's BinomialRatioMetric, the
+/// same code bench_merge replays, so a sharded run's merged hit_ratio is
+/// bit-identical to this bench's.
+const DerivedMetricSpec kHitRatioSpec{"hit_ratio", "client.cache_hits",
+                                      "client.session_queries", 2.576};
 
 struct SweepCell {
   int cache_size = 0;
@@ -125,6 +133,7 @@ int Main(int argc, char** argv) {
   ReportTable tuning_table(columns);
 
   BenchReporter reporter("fig_client_cache", options);
+  reporter.SetShard(options.shard);
   reporter.AddConfig("records", std::to_string(num_records));
   reporter.AddConfig("session_length", std::to_string(session_length));
   reporter.AddConfig("repeat_probability", FormatRate(repeat_probability));
@@ -161,7 +170,8 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  ParallelExperiment experiment({.jobs = options.jobs});
+  ParallelExperiment experiment(
+      {.jobs = options.jobs, .shard = options.shard});
   const auto runs = experiment.RunSweep(configs);
 
   std::size_t index = 0;
@@ -173,6 +183,7 @@ int Main(int argc, char** argv) {
     std::vector<std::string> access_row = head;
     std::vector<std::string> tuning_row = head;
     for (const CachePolicy policy : kPolicies) {
+      const std::size_t cell_index = index;
       const TestbedConfig& config = configs[index];
       const Result<SimulationResult>& run = runs[index++];
       if (!run.ok()) {
@@ -181,13 +192,9 @@ int Main(int argc, char** argv) {
         return 1;
       }
       const SimulationResult& sim = run.value();
-      const auto queries =
-          static_cast<double>(sim.metrics.Get("client.session_queries"));
-      const double hit_ratio =
-          queries > 0.0
-              ? static_cast<double>(sim.metrics.Get("client.cache_hits")) /
-                    queries
-              : 0.0;
+      const BenchMetricValue hit =
+          BinomialRatioMetric(sim.metrics, kHitRatioSpec);
+      const double hit_ratio = hit.mean;
       BenchPoint& point = reporter.AddSimulationPoint(
           {{"cache_size", std::to_string(cell.cache_size)},
            {"zipf_theta", FormatRate(cell.zipf_theta)},
@@ -196,16 +203,19 @@ int Main(int argc, char** argv) {
           sim);
       // Binomial 99% half-width, so cross-machine drift in the hit
       // counters stays inside the bench_compare gate's CI-sum check.
-      const double hit_half_width =
-          queries > 0.0
-              ? 2.576 * std::sqrt(std::max(
-                            0.0, hit_ratio * (1.0 - hit_ratio) / queries))
-              : 0.0;
-      point.metrics.emplace_back(
-          "hit_ratio", BenchMetricValue{hit_ratio, hit_half_width, false});
+      point.metrics.emplace_back(kHitRatioSpec.name, hit);
+      if (options.shard.active()) {
+        reporter.AttachShardCell(experiment.shard_cells()[cell_index]);
+        reporter.AddDerivedMetric(kHitRatioSpec);
+      }
 
+      // A shard that owns none of this cell never built its channel
+      // (cycle_bytes 0); skip the closed form rather than feed it a
+      // zero-length cycle.
       const ClientSessionEstimate model =
-          CellModel(cell, policy, config, sim.cycle_bytes);
+          sim.cycle_bytes > 0 ? CellModel(cell, policy, config,
+                                          sim.cycle_bytes)
+                              : ClientSessionEstimate{};
       hit_row.push_back(FormatDouble(hit_ratio, 3));
       hit_row.push_back(FormatDouble(model.hit_ratio, 3));
       access_row.push_back(FormatDouble(sim.access.mean(), 0));
@@ -232,7 +242,7 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
-  PrintProgramCacheSummary(experiment.program_cache());
+  PrintProgramCacheSummary(experiment.program_cache(), options.shard);
   if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
     std::cerr << "json report failed: " << s.ToString() << "\n";
     return 1;

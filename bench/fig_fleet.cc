@@ -68,6 +68,14 @@ std::string FormatRate(double value) {
 
 int Main(int argc, char** argv) {
   const BenchOptions options = ParseBenchOptions(argc, argv);
+  if (options.shard.active()) {
+    // The fleet engine shards its population internally
+    // (core/fleet_runner.h); cross-process sweep sharding would nest the
+    // two meanings, so refuse rather than silently run the full sweep.
+    std::cerr << "fig_fleet does not support --shard (the fleet engine "
+                 "shards internally)\n";
+    return 2;
+  }
   const bool quick = options.quick;
   const bool csv = options.csv;
 

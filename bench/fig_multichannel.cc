@@ -7,9 +7,10 @@
 // single-channel testbed (the multichannel engine is bypassed there).
 //
 // Usage: fig_multichannel [--quick] [--csv] [--jobs N] [--records N]
-//                         [--switch-cost B] [--json PATH]
+//                         [--switch-cost B] [--json PATH] [--shard I/N]
 // (shared bench flags — see bench/bench_main.h; the channel grid is this
-// bench's sweep axis, so --channels is ignored here.)
+// bench's sweep axis, so --channels is ignored here. With --shard the
+// JSON output is a partial report for tools/bench_merge.)
 
 #include <cmath>
 #include <iostream>
@@ -95,6 +96,7 @@ int Main(int argc, char** argv) {
   ReportTable tuning_table(columns);
 
   BenchReporter reporter("fig_multichannel", options);
+  reporter.SetShard(options.shard);
   {
     std::string counts;
     for (const int n : channel_counts) {
@@ -129,7 +131,8 @@ int Main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
-  ParallelExperiment experiment({.jobs = options.jobs});
+  ParallelExperiment experiment(
+      {.jobs = options.jobs, .shard = options.shard});
   const auto runs = experiment.RunSweep(configs);
 
   std::size_t index = 0;
@@ -137,6 +140,7 @@ int Main(int argc, char** argv) {
     std::vector<std::string> access_row = {std::to_string(channels)};
     std::vector<std::string> tuning_row = {std::to_string(channels)};
     for (const auto& series : series_list) {
+      const std::size_t cell = index;
       const TestbedConfig& config = configs[index];
       const Result<SimulationResult>& run = runs[index++];
       if (!run.ok()) {
@@ -147,6 +151,9 @@ int Main(int argc, char** argv) {
       reporter.AddSimulationPoint(
           {{"channels", std::to_string(channels)}, {"series", series.label}},
           sim);
+      if (options.shard.active()) {
+        reporter.AttachShardCell(experiment.shard_cells()[cell]);
+      }
 
       const AnalyticalEstimate model = SeriesModel(
           series, num_records, channels, config.geometry, switch_cost);
@@ -170,7 +177,7 @@ int Main(int argc, char** argv) {
   csv ? tuning_table.PrintCsv(std::cout) : tuning_table.Print(std::cout);
   std::cout << '\n';
   PrintTimingSummary(std::cout, experiment.timing());
-  PrintProgramCacheSummary(experiment.program_cache());
+  PrintProgramCacheSummary(experiment.program_cache(), options.shard);
   if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
     std::cerr << "json report failed: " << s.ToString() << "\n";
     return 1;

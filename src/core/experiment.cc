@@ -35,8 +35,11 @@ struct ReorderBuffer {
 
 ParallelExperiment::ParallelExperiment(ParallelOptions options)
     : pool_(options.jobs),
-      lookahead_(options.lookahead < 0 ? pool_.size() : options.lookahead) {
+      lookahead_(options.lookahead < 0 ? pool_.size() : options.lookahead),
+      shard_(options.shard) {
   timing_.jobs = pool_.size();
+  timing_.shard_index = shard_.index;
+  timing_.shard_count = shard_.count;
 }
 
 std::shared_ptr<const ZipfDistribution> ParallelExperiment::ZipfFor(
@@ -186,6 +189,135 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   return merged;
 }
 
+Result<SimulationResult> ParallelExperiment::RunShardCell(
+    const TestbedConfig& config, int lo, int hi,
+    std::vector<ReplicationPayload>* payloads) {
+  const auto start = std::chrono::steady_clock::now();
+  const double busy_before = pool_.busy_seconds();
+  if (Status s = ValidateTestbedConfig(config); !s.ok()) return s;
+
+  Result<std::shared_ptr<const Dataset>> dataset_result =
+      BuildTestbedDataset(config);
+  if (!dataset_result.ok()) return dataset_result.status();
+  const std::shared_ptr<const Dataset> dataset =
+      std::move(dataset_result).value();
+  ProgramCache* cache = nullptr;
+  if (!config.program_cache_dir.empty()) {
+    if (program_cache_ == nullptr ||
+        program_cache_->dir() != config.program_cache_dir) {
+      program_cache_ = std::make_unique<ProgramCache>(config.program_cache_dir);
+    }
+    cache = program_cache_.get();
+  }
+  Result<BroadcastServer> server_result =
+      BroadcastServer::Create(config.scheme, dataset, config.geometry,
+                              config.params, config.multichannel, cache);
+  if (!server_result.ok()) return server_result.status();
+  const BroadcastServer server = std::move(server_result).value();
+
+  std::shared_ptr<const ZipfDistribution> zipf_table;
+  if (config.zipf_theta > 0.0) {
+    zipf_table = ZipfFor(dataset->size(), config.zipf_theta);
+  }
+  const ZipfDistribution* zipf = zipf_table.get();
+
+  // The shard runs its whole slice [lo, hi): the adaptive stopping rule
+  // belongs to the merged id-ordered stream, which only bench_merge
+  // sees. Ids are absolute, so ReplicationSeed(config.seed, id) draws
+  // the same stream a single process would for the same id — the merged
+  // replay is then bit-identical by construction.
+  AccuracyController accuracy(config.confidence_level,
+                              config.confidence_accuracy);
+  SimulationResult merged;
+  ReorderBuffer buffer;
+  const int window = pool_.size() + lookahead_;
+  int next_submit = lo;
+  int next_merge = lo;
+
+  while (next_merge < hi) {
+    while (next_submit < hi && next_submit < next_merge + window) {
+      const int id = next_submit++;
+      const std::uint64_t seed =
+          ReplicationSeed(config.seed, static_cast<std::uint64_t>(id));
+      pool_.Submit([&server, &dataset, &config, &buffer, id, seed, zipf]() {
+        ReplicationResult result =
+            RunReplication(server, *dataset, config, seed, zipf);
+        std::lock_guard<std::mutex> lock(buffer.mu);
+        buffer.completed.emplace(id, std::move(result));
+        buffer.peak =
+            std::max(buffer.peak, static_cast<int>(buffer.completed.size()));
+        buffer.ready.notify_one();
+      });
+    }
+
+    std::vector<std::pair<int, ReplicationResult>> mergeable;
+    {
+      std::unique_lock<std::mutex> lock(buffer.mu);
+      buffer.ready.wait(lock, [&]() {
+        return buffer.completed.count(next_merge) != 0;
+      });
+      while (!buffer.completed.empty() &&
+             buffer.completed.begin()->first == next_merge) {
+        mergeable.emplace_back(next_merge,
+                               std::move(buffer.completed.begin()->second));
+        buffer.completed.erase(buffer.completed.begin());
+        ++next_merge;
+      }
+    }
+
+    for (auto& [id, replication] : mergeable) {
+      ReplicationPayload payload;
+      payload.id = id;
+      payload.access_count = replication.access.count();
+      payload.access_mean = replication.access.mean();
+      payload.access_m2 = replication.access.m2();
+      payload.tuning_count = replication.tuning.count();
+      payload.tuning_mean = replication.tuning.mean();
+      payload.tuning_m2 = replication.tuning.m2();
+      payload.round_access_mean = replication.round_access_mean;
+      payload.round_tuning_mean = replication.round_tuning_mean;
+      payload.metrics = replication.metrics;
+      payloads->push_back(std::move(payload));
+
+      merged.access.Merge(replication.access);
+      merged.tuning.Merge(replication.tuning);
+      merged.probes.Merge(replication.probes);
+      merged.access_histogram.Merge(replication.access_histogram);
+      merged.tuning_histogram.Merge(replication.tuning_histogram);
+      merged.found += replication.found;
+      merged.abandoned += replication.abandoned;
+      merged.false_drops += replication.false_drops;
+      merged.anomalies += replication.anomalies;
+      merged.outcome_mismatches += replication.outcome_mismatches;
+      merged.metrics.Merge(replication.metrics);
+      accuracy.AddRound(replication.round_access_mean,
+                        replication.round_tuning_mean);
+    }
+  }
+
+  pool_.Wait();
+  timing_.replications_run += hi - lo;
+  timing_.reorder_buffer_peak =
+      std::max(timing_.reorder_buffer_peak, buffer.peak);
+
+  merged.requests = merged.access.count();
+  merged.rounds = hi - lo;
+  merged.converged = accuracy.Satisfied();
+  merged.access_check = accuracy.access_check();
+  merged.tuning_check = accuracy.tuning_check();
+
+  FillChannelShape(server, &merged);
+
+  const double wall = SecondsSince(start);
+  timing_.replications_merged += hi - lo;
+  timing_.wall_seconds += wall;
+  timing_.busy_seconds = pool_.busy_seconds();
+  timing_.idle_seconds +=
+      std::max(0.0, wall * pool_.size() - (pool_.busy_seconds() -
+                                           busy_before));
+  return merged;
+}
+
 std::vector<Result<SimulationResult>> ParallelExperiment::RunSweep(
     const std::vector<TestbedConfig>& configs) {
   // One generated Dataset per distinct set of generation inputs: grid
@@ -207,9 +339,40 @@ std::vector<Result<SimulationResult>> ParallelExperiment::RunSweep(
   };
   std::vector<std::pair<DatasetKey, std::shared_ptr<const Dataset>>> cache;
 
+  // Sharded sweeps split the flat replication-unit sequence across
+  // processes (core/shard.h); each cell keeps its slice [lo, hi).
+  std::vector<ShardRange> ranges;
+  if (shard_.active()) {
+    std::vector<int> caps;
+    caps.reserve(configs.size());
+    for (const TestbedConfig& config : configs) {
+      caps.push_back(config.max_rounds);
+    }
+    ranges = PartitionSweep(caps, shard_);
+    shard_cells_.clear();
+    shard_cells_.reserve(configs.size());
+  }
+
   std::vector<Result<SimulationResult>> results;
   results.reserve(configs.size());
-  for (const TestbedConfig& config : configs) {
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const TestbedConfig& config = configs[c];
+    const auto cell_start = std::chrono::steady_clock::now();
+    ShardCell shard_cell;
+    if (shard_.active()) {
+      shard_cell.min_rounds = config.min_rounds;
+      shard_cell.max_rounds = config.max_rounds;
+      shard_cell.confidence_level = config.confidence_level;
+      shard_cell.confidence_accuracy = config.confidence_accuracy;
+      if (ranges[c].empty()) {
+        // Nothing of this cell is ours: skip the build entirely and emit
+        // a placeholder so point order stays aligned across shards.
+        results.push_back(SimulationResult{});
+        shard_cells_.push_back(std::move(shard_cell));
+        timing_.cell_wall_seconds.push_back(SecondsSince(cell_start));
+        continue;
+      }
+    }
     TestbedConfig cell = config;
     if (cell.dataset == nullptr && ValidateTestbedConfig(cell).ok()) {
       const DatasetKey key{cell.num_records, cell.geometry.key_bytes,
@@ -230,7 +393,14 @@ std::vector<Result<SimulationResult>> ParallelExperiment::RunSweep(
         // On failure fall through: Run(cell) reproduces the error.
       }
     }
-    results.push_back(Run(cell));
+    if (shard_.active()) {
+      results.push_back(RunShardCell(cell, ranges[c].lo, ranges[c].hi,
+                                     &shard_cell.replications));
+      shard_cells_.push_back(std::move(shard_cell));
+    } else {
+      results.push_back(Run(cell));
+    }
+    timing_.cell_wall_seconds.push_back(SecondsSince(cell_start));
   }
   return results;
 }

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "core/program_cache.h"
 #include "core/report.h"
+#include "core/shard.h"
 #include "core/simulator.h"
 #include "core/testbed_config.h"
 #include "core/thread_pool.h"
@@ -28,6 +29,13 @@ struct ParallelOptions {
   /// 2 * jobs). Lookahead only trades wall time against wasted
   /// speculative work — it never affects results.
   int lookahead = -1;
+  /// Cross-process sweep shard (core/shard.h). The default ({0, 1}) is
+  /// the ordinary single-process run. When shard.count > 1, RunSweep
+  /// executes only this shard's replication slice of each cell — all of
+  /// it, with no adaptive stop — and records per-replication payloads
+  /// (shard_cells()) for bench_merge to replay. Run() ignores the shard:
+  /// sharding is a sweep-level concept.
+  ShardSpec shard = {};
 };
 
 /// Multi-threaded replication engine.
@@ -84,6 +92,13 @@ class ParallelExperiment {
   /// Timing accumulated over every Run/RunSweep call on this engine.
   const RunTiming& timing() const { return timing_; }
 
+  /// Per-cell replication payloads captured by the most recent sharded
+  /// RunSweep, one entry per sweep cell in sweep order (each with the
+  /// cell's stopping parameters and this shard's owned replications).
+  /// Empty unless options.shard.count > 1. The bench driver copies these
+  /// into its partial report's shard section.
+  const std::vector<ShardCell>& shard_cells() const { return shard_cells_; }
+
   /// Worker threads in use.
   int jobs() const { return pool_.size(); }
 
@@ -94,6 +109,16 @@ class ParallelExperiment {
   const ProgramCache* program_cache() const { return program_cache_.get(); }
 
  private:
+  /// Runs replications [lo, hi) of one sweep cell with absolute ids and
+  /// no stopping rule, appending their raw merge state to `payloads`.
+  /// The returned result is this shard's local view (its own
+  /// replications merged in id order) — useful for progress tables, but
+  /// only bench_merge's replay reconstructs the real point.
+  Result<SimulationResult> RunShardCell(const TestbedConfig& config, int lo,
+                                        int hi,
+                                        std::vector<ReplicationPayload>*
+                                            payloads);
+
   /// One shared Zipf sampling table per distinct (ranks, theta):
   /// replications — and same-shape sweep cells, since the cache persists
   /// across Run calls — reuse it instead of recomputing the O(n)
@@ -104,7 +129,9 @@ class ParallelExperiment {
 
   ThreadPool pool_;
   int lookahead_;
+  ShardSpec shard_;
   RunTiming timing_;
+  std::vector<ShardCell> shard_cells_;
   /// Lives across Run/RunSweep calls so identical cells share one
   /// flattened program; (re)created when a config names a different
   /// snapshot directory.

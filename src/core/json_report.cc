@@ -493,6 +493,13 @@ JsonValue BenchReportToJson(const BenchReport& report) {
   timing.Set("wall_seconds", JsonValue(report.timing.wall_seconds));
   timing.Set("busy_seconds", JsonValue(report.timing.busy_seconds));
   timing.Set("idle_seconds", JsonValue(report.timing.idle_seconds));
+  timing.Set("shard_index", JsonValue(report.timing.shard_index));
+  timing.Set("shard_count", JsonValue(report.timing.shard_count));
+  JsonValue cell_walls = JsonValue::MakeArray();
+  for (const double seconds : report.timing.cell_wall_seconds) {
+    cell_walls.Append(JsonValue(seconds));
+  }
+  timing.Set("cell_wall_seconds", std::move(cell_walls));
   root.Set("timing", std::move(timing));
   return root;
 }
@@ -618,6 +625,23 @@ Result<BenchReport> BenchReportFromJson(const JsonValue& json) {
     }
     if (const JsonValue* idle = Require(*timing, "idle_seconds")) {
       report.timing.idle_seconds = idle->number_value();
+    }
+    // Sharding keys are absent in pre-shard reports; the defaults
+    // (shard 0 of 1, no per-cell walls) describe those exactly.
+    if (const JsonValue* shard_index = Require(*timing, "shard_index")) {
+      report.timing.shard_index = static_cast<int>(shard_index->int_value());
+    }
+    if (const JsonValue* shard_count = Require(*timing, "shard_count")) {
+      report.timing.shard_count = static_cast<int>(shard_count->int_value());
+    }
+    if (const JsonValue* cell_walls = Require(*timing, "cell_wall_seconds")) {
+      if (cell_walls->is_array()) {
+        for (const JsonValue& seconds : cell_walls->items()) {
+          if (seconds.is_number()) {
+            report.timing.cell_wall_seconds.push_back(seconds.number_value());
+          }
+        }
+      }
     }
   }
   return report;

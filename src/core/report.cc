@@ -85,7 +85,12 @@ double RunTiming::worker_utilization() const {
 }
 
 void PrintTimingSummary(std::ostream& os, const RunTiming& timing) {
-  os << "timing: jobs " << timing.jobs << " | replications "
+  os << "timing: ";
+  if (timing.shard_count > 1) {
+    os << "shard " << timing.shard_index + 1 << "/" << timing.shard_count
+       << " | ";
+  }
+  os << "jobs " << timing.jobs << " | replications "
      << timing.replications_run << " (" << timing.replications_merged
      << " merged, " << timing.replications_discarded
      << " discarded) | reorder peak " << timing.reorder_buffer_peak

@@ -61,6 +61,16 @@ struct RunTiming {
   /// Pool capacity left unused while inside Run()/RunSweep()
   /// (wall_seconds * jobs - busy_seconds, clamped at 0).
   double idle_seconds = 0.0;
+  /// Which sweep shard this run was (core/shard.h), 0-based.
+  /// shard_count == 1 is the ordinary unsharded run — and what a merged
+  /// report presents itself as.
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Wall seconds per sweep cell, in sweep order (one entry per
+  /// RunSweep cell; empty for plain Run calls). Diagnostic only — like
+  /// the rest of the timing block it is merged across shards, never
+  /// compared.
+  std::vector<double> cell_wall_seconds;
 
   /// Executed replications per wall-clock second.
   double replications_per_second() const;

@@ -1,0 +1,61 @@
+// Layer: 4 (schemes) — see docs/ARCHITECTURE.md for the layer map.
+#ifndef AIRINDEX_SCHEMES_ACCESS_PATH_H_
+#define AIRINDEX_SCHEMES_ACCESS_PATH_H_
+
+#include <atomic>
+
+namespace airindex {
+
+/// Which representation the client access walks traverse.
+///
+/// Every scheme's Access() is one protocol templated over a channel view
+/// (schemes/channel_view.h): the *pointer* view walks the inflated
+/// Channel/Bucket structures, the *arena* view resolves the same walk via
+/// 32-bit offset arithmetic over the flattened program buffer
+/// (broadcast/arena.h). Both views are observably identical — the
+/// invariants harness shadows every walk on both — so the switch only
+/// trades implementation speed, never results.
+enum class AccessPath {
+  /// Offset arithmetic over the contiguous arena buffer (default).
+  kArena,
+  /// The original pointer-chasing walk over Channel/Bucket.
+  kPointer,
+};
+
+namespace internal {
+inline std::atomic<AccessPath> g_access_path{AccessPath::kArena};
+}  // namespace internal
+
+/// Process-wide selection; schemes without an attached arena always use
+/// the pointer walk regardless.
+inline void SetGlobalAccessPath(AccessPath path) {
+  internal::g_access_path.store(path, std::memory_order_relaxed);
+}
+
+inline AccessPath GlobalAccessPath() {
+  return internal::g_access_path.load(std::memory_order_relaxed);
+}
+
+/// True when arena-native walks are enabled.
+inline bool UseArenaAccessPath() {
+  return GlobalAccessPath() == AccessPath::kArena;
+}
+
+/// RAII override, for micro-benchmarks and the A/B invariant tests.
+class ScopedAccessPath {
+ public:
+  explicit ScopedAccessPath(AccessPath path) : previous_(GlobalAccessPath()) {
+    SetGlobalAccessPath(path);
+  }
+  ~ScopedAccessPath() { SetGlobalAccessPath(previous_); }
+
+  ScopedAccessPath(const ScopedAccessPath&) = delete;
+  ScopedAccessPath& operator=(const ScopedAccessPath&) = delete;
+
+ private:
+  AccessPath previous_;
+};
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_SCHEMES_ACCESS_PATH_H_

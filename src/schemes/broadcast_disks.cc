@@ -156,22 +156,30 @@ int BroadcastDisks::DiskOf(int record) const {
   return disk_of_[static_cast<std::size_t>(record)];
 }
 
-AccessResult BroadcastDisks::Access(std::string_view key,
-                                    Bytes tune_in) const {
-  const Bytes dt = channel_.bucket(0).size;
-  const Bytes cycle = channel_.cycle_bytes();
-  const auto num = static_cast<Bytes>(channel_.num_buckets());
+namespace {
+
+// Closed-form multi-disk scan over either channel view
+// (schemes/channel_view.h); the per-record occurrence table is build-time
+// state shared by both paths.
+template <typename View>
+AccessResult BroadcastDisksWalk(
+    const View& view, std::string_view key, Bytes tune_in,
+    const Dataset& dataset,
+    const std::vector<std::vector<Bytes>>& occurrences) {
+  const Bytes dt = view.bucket(0).size();
+  const Bytes cycle = view.cycle_bytes();
+  const auto num = static_cast<Bytes>(view.num_buckets());
 
   AccessResult result;
-  const Bytes boundary = channel_.NextBoundaryTime(tune_in);
+  const Bytes boundary = view.NextBoundaryTime(tune_in);
   const Bytes wait = boundary - tune_in;
   const Bytes phase = boundary % cycle;
 
-  const int target = dataset_->FindIndex(key);
+  const int target = dataset.FindIndex(key);
   Bytes buckets_read;
   if (target >= 0) {
     const std::vector<Bytes>& occ =
-        occurrences_[static_cast<std::size_t>(target)];
+        occurrences[static_cast<std::size_t>(target)];
     const auto it = std::lower_bound(occ.begin(), occ.end(), phase);
     const Bytes next = it != occ.end() ? *it : occ.front() + cycle;
     buckets_read = (next - phase) / dt + 1;
@@ -184,6 +192,17 @@ AccessResult BroadcastDisks::Access(std::string_view key,
   result.tuning_time = result.access_time;
   result.probes = static_cast<int>(buckets_read);
   return result;
+}
+
+}  // namespace
+
+AccessResult BroadcastDisks::Access(std::string_view key,
+                                    Bytes tune_in) const {
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return BroadcastDisksWalk(*arena, key, tune_in, *dataset_, occurrences_);
+  }
+  return BroadcastDisksWalk(PointerChannelView(channel_), key, tune_in,
+                            *dataset_, occurrences_);
 }
 
 AccessResult BroadcastDisks::AccessReference(std::string_view key,

@@ -10,6 +10,7 @@
 #include "broadcast/geometry.h"
 #include "data/dataset.h"
 #include "schemes/access.h"
+#include "schemes/channel_view.h"
 
 namespace airindex {
 
@@ -62,6 +63,10 @@ class BroadcastDisks : public BroadcastScheme {
   /// Bucket-by-bucket reference walker (property tests).
   AccessResult AccessReference(std::string_view key, Bytes tune_in) const;
 
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
   /// Number of times `record` appears in one major cycle.
   int OccurrencesOf(int record) const;
 
@@ -82,6 +87,7 @@ class BroadcastDisks : public BroadcastScheme {
   /// Per record: sorted start phases of its buckets in the major cycle.
   std::vector<std::vector<Bytes>> occurrences_;
   std::vector<int> disk_of_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

@@ -170,9 +170,88 @@ Result<DistributedIndexing> DistributedIndexing::Build(
                              std::move(channel).value(), r, num_segments);
 }
 
+namespace {
+
+// Trace-free distributed walk over either channel view
+// (schemes/channel_view.h). AccessTraced below is the traced pointer-path
+// twin; any protocol change must be applied to both.
+template <typename View>
+AccessResult DistributedWalk(const View& view, std::string_view key,
+                             Bytes tune_in, int tree_height) {
+  AccessResult result;
+  Bytes t = view.NextBoundaryTime(tune_in);
+  result.tuning_time = t - tune_in;
+
+  // First complete bucket: learn the offset to the next index segment.
+  {
+    const auto first = view.bucket(view.BucketAtPhase(t % view.cycle_bytes()));
+    t += first.size();
+    result.tuning_time += first.size();
+    ++result.probes;
+    if (first.kind() == BucketKind::kIndex) ++result.index_probes;
+    t = view.NextArrivalOfPhase(first.next_index_segment_phase(), t);
+  }
+
+  const int max_probes = 6 * tree_height + 16;
+  bool restarted = false;
+  while (result.probes < max_probes) {
+    const auto bucket = view.bucket(view.BucketAtPhase(t % view.cycle_bytes()));
+    t += bucket.size();
+    result.tuning_time += bucket.size();
+    ++result.probes;
+    if (bucket.kind() != BucketKind::kIndex) {
+      ++result.anomalies;
+      break;
+    }
+    ++result.index_probes;
+    // "If K < the key most recently broadcast, go to the next broadcast":
+    // the record (if on air at all) already passed this cycle.
+    if (!bucket.last_broadcast_key().empty() &&
+        key <= bucket.last_broadcast_key()) {
+      if (restarted) {  // cannot happen on a well-formed channel
+        ++result.anomalies;
+        break;
+      }
+      restarted = true;
+      t = view.NextArrivalOfPhase(0, t);
+      continue;
+    }
+    if (key < bucket.range_lo()) break;  // not on air
+    if (key > bucket.range_hi()) {
+      // Climb via the control index to the lowest ancestor covering K.
+      const EntryView up = bucket.FindControlUp(key);
+      if (!up.found) break;  // key beyond the maximum key: not on air
+      t = view.NextArrivalOfPhase(up.target_phase, t);
+      continue;
+    }
+    // K within this subtree: descend.
+    const EntryView entry = bucket.FindLocal(key);
+    if (!entry.found) break;  // key falls in a gap: not on air
+    t = view.NextArrivalOfPhase(entry.target_phase, t);
+    if (bucket.level() == 0) {
+      const auto data =
+          view.bucket(view.BucketAtPhase(t % view.cycle_bytes()));
+      t += data.size();
+      result.tuning_time += data.size();
+      ++result.probes;
+      result.found = true;
+      break;
+    }
+  }
+  if (result.probes >= max_probes && !result.found) ++result.anomalies;
+  result.access_time = t - tune_in;
+  return result;
+}
+
+}  // namespace
+
 AccessResult DistributedIndexing::Access(std::string_view key,
                                          Bytes tune_in) const {
-  return AccessTraced(key, tune_in, nullptr);
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return DistributedWalk(*arena, key, tune_in, tree_.height());
+  }
+  return DistributedWalk(PointerChannelView(channel_), key, tune_in,
+                         tree_.height());
 }
 
 AccessResult DistributedIndexing::AccessTraced(std::string_view key,

@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "schemes/access.h"
 #include "schemes/btree.h"
+#include "schemes/channel_view.h"
 #include "schemes/trace.h"
 
 namespace airindex {
@@ -56,6 +57,10 @@ class DistributedIndexing : public BroadcastScheme {
   AccessResult AccessTraced(std::string_view key, Bytes tune_in,
                             AccessTrace* trace) const;
 
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
   /// Replicated-level count actually used.
   int replicated_levels() const { return r_; }
 
@@ -79,6 +84,7 @@ class DistributedIndexing : public BroadcastScheme {
   Channel channel_;
   int r_;
   int num_segments_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

@@ -25,17 +25,22 @@ Result<FlatBroadcast> FlatBroadcast::Build(
   return FlatBroadcast(std::move(dataset), std::move(channel).value());
 }
 
-AccessResult FlatBroadcast::Access(std::string_view key, Bytes tune_in) const {
-  const Bytes dt = channel_.bucket(0).size;
-  const auto num = static_cast<Bytes>(channel_.num_buckets());
+namespace {
+
+// Closed-form flat walk over either channel view (schemes/channel_view.h).
+template <typename View>
+AccessResult FlatWalk(const View& view, std::string_view key, Bytes tune_in,
+                      const Dataset& dataset) {
+  const Bytes dt = view.bucket(0).size();
+  const auto num = static_cast<Bytes>(view.num_buckets());
 
   AccessResult result;
-  const Bytes boundary = channel_.NextBoundaryTime(tune_in);
+  const Bytes boundary = view.NextBoundaryTime(tune_in);
   const Bytes wait = boundary - tune_in;
   const auto first =
-      static_cast<Bytes>(channel_.BucketAtPhase(boundary % channel_.cycle_bytes()));
+      static_cast<Bytes>(view.BucketAtPhase(boundary % view.cycle_bytes()));
 
-  const int target = dataset_->FindIndex(key);
+  const int target = dataset.FindIndex(key);
   Bytes buckets_read;
   if (target >= 0) {
     buckets_read = (static_cast<Bytes>(target) - first % num + num) % num + 1;
@@ -49,6 +54,15 @@ AccessResult FlatBroadcast::Access(std::string_view key, Bytes tune_in) const {
   result.tuning_time = result.access_time;
   result.probes = static_cast<int>(buckets_read);
   return result;
+}
+
+}  // namespace
+
+AccessResult FlatBroadcast::Access(std::string_view key, Bytes tune_in) const {
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return FlatWalk(*arena, key, tune_in, *dataset_);
+  }
+  return FlatWalk(PointerChannelView(channel_), key, tune_in, *dataset_);
 }
 
 FilterResult FlatBroadcast::Filter(std::string_view value,

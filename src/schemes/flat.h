@@ -9,6 +9,7 @@
 #include "broadcast/geometry.h"
 #include "data/dataset.h"
 #include "schemes/access.h"
+#include "schemes/channel_view.h"
 #include "schemes/filter.h"
 
 namespace airindex {
@@ -46,12 +47,17 @@ class FlatBroadcast : public BroadcastScheme {
   /// client must listen to every data bucket of one full cycle.
   FilterResult Filter(std::string_view value, Bytes tune_in) const;
 
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
  private:
   FlatBroadcast(std::shared_ptr<const Dataset> dataset, Channel channel)
       : dataset_(std::move(dataset)), channel_(std::move(channel)) {}
 
   std::shared_ptr<const Dataset> dataset_;
   Channel channel_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

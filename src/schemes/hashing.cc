@@ -86,18 +86,22 @@ Result<SimpleHashing> SimpleHashing::Build(
                        allocated);
 }
 
-AccessResult SimpleHashing::Access(std::string_view key, Bytes tune_in) const {
+namespace {
+
+// The hashing protocol over either channel view (schemes/channel_view.h).
+template <typename View>
+AccessResult HashingWalk(const View& view, std::string_view key, Bytes tune_in,
+                         std::int64_t hash, const Dataset& dataset) {
   AccessResult result;
-  const Bytes dt = channel_.bucket(0).size;
-  const Bytes cycle = channel_.cycle_bytes();
-  const std::int64_t hash = HashKey(key);
+  const Bytes dt = view.bucket(0).size();
+  const Bytes cycle = view.cycle_bytes();
   const Bytes home_phase = static_cast<Bytes>(hash) * dt;
 
   // Initial wait, then the first complete bucket.
-  Bytes t = channel_.NextBoundaryTime(tune_in);
+  Bytes t = view.NextBoundaryTime(tune_in);
   result.tuning_time = t - tune_in;
-  const auto first_pos = static_cast<std::int64_t>(
-      channel_.BucketAtPhase(t % cycle));
+  const auto first_pos =
+      static_cast<std::int64_t>(view.BucketAtPhase(t % cycle));
   t += dt;
   result.tuning_time += dt;
   ++result.probes;
@@ -109,49 +113,58 @@ AccessResult SimpleHashing::Access(std::string_view key, Bytes tune_in) const {
   // equivalent (position i < Na carries hash value i in its control
   // part). If the position already passed, wait for the next broadcast.
   if (first_pos != hash) {
-    t = channel_.NextArrivalOfPhase(home_phase, t);
+    t = view.NextArrivalOfPhase(home_phase, t);
     t += dt;
     result.tuning_time += dt;
     ++result.probes;
     ++result.index_probes;
   }
-  const Bucket& home =
-      channel_.bucket(static_cast<std::size_t>(hash));
 
   // Follow the shift value to the chain start, then scan the chain.
-  const Bytes chain_phase = home.shift_phase;
-  std::size_t pos = channel_.BucketAtPhase(chain_phase);
+  const Bytes chain_phase =
+      view.bucket(static_cast<std::size_t>(hash)).shift_phase();
+  std::size_t pos = view.BucketAtPhase(chain_phase);
   bool current_in_hand = false;
   if (chain_phase == home_phase) {
     // The chain starts at the home bucket we just read.
     current_in_hand = true;
     pos = static_cast<std::size_t>(hash);
   } else {
-    t = channel_.NextArrivalOfPhase(chain_phase, t);
+    t = view.NextArrivalOfPhase(chain_phase, t);
   }
 
-  const std::size_t num = channel_.num_buckets();
+  const std::size_t num = view.num_buckets();
   for (std::size_t scanned = 0; scanned < num; ++scanned) {
-    const Bucket& bucket = channel_.bucket(pos);
+    const auto bucket = view.bucket(pos);
     if (!current_in_hand) {
-      t += bucket.size;
-      result.tuning_time += bucket.size;
+      t += bucket.size();
+      result.tuning_time += bucket.size();
       ++result.probes;
     }
     current_in_hand = false;
-    if (bucket.hash_value != hash) break;  // chain over: not on air
+    if (bucket.hash_value() != hash) break;  // chain over: not on air
     if (scanned > 0) ++result.overflow_hops;
-    const Record& record =
-        dataset_->record(static_cast<int>(bucket.record_id));
+    const Record& record = dataset.record(static_cast<int>(bucket.record_id()));
     if (record.key == key) {
       result.found = true;
       break;
     }
     pos = (pos + 1) % num;
-    if (pos == 0) t = channel_.NextArrivalOfPhase(0, t);
+    if (pos == 0) t = view.NextArrivalOfPhase(0, t);
   }
   result.access_time = t - tune_in;
   return result;
+}
+
+}  // namespace
+
+AccessResult SimpleHashing::Access(std::string_view key, Bytes tune_in) const {
+  const std::int64_t hash = HashKey(key);
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return HashingWalk(*arena, key, tune_in, hash, *dataset_);
+  }
+  return HashingWalk(PointerChannelView(channel_), key, tune_in, hash,
+                     *dataset_);
 }
 
 Result<SimpleHashing> SimpleHashing::Restore(

@@ -10,6 +10,7 @@
 #include "broadcast/geometry.h"
 #include "data/dataset.h"
 #include "schemes/access.h"
+#include "schemes/channel_view.h"
 
 namespace airindex {
 
@@ -42,6 +43,10 @@ class SimpleHashing : public BroadcastScheme {
 
   AccessResult Access(std::string_view key, Bytes tune_in) const override;
 
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
   /// Number of allocated slots Na.
   int allocated() const { return allocated_; }
 
@@ -64,6 +69,7 @@ class SimpleHashing : public BroadcastScheme {
   std::shared_ptr<const Dataset> dataset_;
   Channel channel_;
   int allocated_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

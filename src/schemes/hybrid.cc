@@ -159,82 +159,99 @@ Result<HybridIndexing> HybridIndexing::Build(
                         group_size, m);
 }
 
-AccessResult HybridIndexing::Access(std::string_view key,
-                                    Bytes tune_in) const {
+namespace {
+
+// The hybrid tree-descent + in-group signature sift over either channel
+// view (schemes/channel_view.h).
+template <typename View>
+AccessResult HybridWalk(const View& view, std::string_view key, Bytes tune_in,
+                        const Dataset& dataset,
+                        const SignatureGenerator& generator, int tree_height,
+                        int group_size) {
   AccessResult result;
-  const std::vector<std::uint64_t> query = generator_.QuerySignature(key);
-  const int words = generator_.words();
+  const std::vector<std::uint64_t> query = generator.QuerySignature(key);
+  const int words = generator.words();
 
   // Initial wait + first complete bucket, then the next index segment.
-  Bytes t = channel_.NextBoundaryTime(tune_in);
+  Bytes t = view.NextBoundaryTime(tune_in);
   result.tuning_time = t - tune_in;
   {
-    const Bucket& first =
-        channel_.bucket(channel_.BucketAtPhase(t % channel_.cycle_bytes()));
-    t += first.size;
-    result.tuning_time += first.size;
+    const auto first = view.bucket(view.BucketAtPhase(t % view.cycle_bytes()));
+    t += first.size();
+    result.tuning_time += first.size();
     ++result.probes;
-    if (first.kind == BucketKind::kIndex) ++result.index_probes;
-    t = channel_.NextArrivalOfPhase(first.next_index_segment_phase, t);
+    if (first.kind() == BucketKind::kIndex) ++result.index_probes;
+    t = view.NextArrivalOfPhase(first.next_index_segment_phase(), t);
   }
 
   // Descend the group tree.
-  const int max_probes = 4 * tree_.height() + 8 + 2 * group_size_;
+  const int max_probes = 4 * tree_height + 8 + 2 * group_size;
   bool in_group = false;
   int group_remaining = 0;
   while (result.probes < max_probes) {
-    const std::size_t i = channel_.BucketAtPhase(t % channel_.cycle_bytes());
-    const Bucket& bucket = channel_.bucket(i);
+    const std::size_t i = view.BucketAtPhase(t % view.cycle_bytes());
+    const auto bucket = view.bucket(i);
 
     if (!in_group) {
-      t += bucket.size;
-      result.tuning_time += bucket.size;
+      t += bucket.size();
+      result.tuning_time += bucket.size();
       ++result.probes;
-      if (bucket.kind != BucketKind::kIndex) {
+      if (bucket.kind() != BucketKind::kIndex) {
         ++result.anomalies;
         break;
       }
       ++result.index_probes;
-      if (key < bucket.range_lo || key > bucket.range_hi) break;
-      const PointerEntry* entry = FindCoveringEntry(bucket.local, key);
-      if (entry == nullptr) break;  // gap: not on air
-      t = channel_.NextArrivalOfPhase(entry->target_phase, t);
-      if (bucket.level == 0) {
+      if (key < bucket.range_lo() || key > bucket.range_hi()) break;
+      const EntryView entry = bucket.FindLocal(key);
+      if (!entry.found) break;  // gap: not on air
+      t = view.NextArrivalOfPhase(entry.target_phase, t);
+      if (bucket.level() == 0) {
         in_group = true;
-        group_remaining = group_size_;
+        group_remaining = group_size;
       }
       continue;
     }
 
     // Inside the group: sift record signatures.
-    if (group_remaining == 0 || bucket.kind != BucketKind::kSignature) {
+    if (group_remaining == 0 || bucket.kind() != BucketKind::kSignature) {
       break;  // group exhausted: not on air
     }
-    t += bucket.size;
-    result.tuning_time += bucket.size;
+    t += bucket.size();
+    result.tuning_time += bucket.size();
     ++result.probes;
     ++result.index_probes;
     --group_remaining;
-    const Bucket& data = channel_.bucket((i + 1) % channel_.num_buckets());
-    if (SignatureGenerator::Matches(bucket.signature.data(), query.data(),
+    const auto data = view.bucket((i + 1) % view.num_buckets());
+    if (SignatureGenerator::Matches(bucket.signature_words(), query.data(),
                                     words)) {
-      t += data.size;
-      result.tuning_time += data.size;
+      t += data.size();
+      result.tuning_time += data.size();
       ++result.probes;
-      const Record& record =
-          dataset_->record(static_cast<int>(data.record_id));
+      const Record& record = dataset.record(static_cast<int>(data.record_id()));
       if (record.key == key) {
         result.found = true;
         break;
       }
       ++result.false_drops;
     } else {
-      t += data.size;  // doze over the data bucket
+      t += data.size();  // doze over the data bucket
     }
   }
   if (result.probes >= max_probes && !result.found) ++result.anomalies;
   result.access_time = t - tune_in;
   return result;
+}
+
+}  // namespace
+
+AccessResult HybridIndexing::Access(std::string_view key,
+                                    Bytes tune_in) const {
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return HybridWalk(*arena, key, tune_in, *dataset_, generator_,
+                      tree_.height(), group_size_);
+  }
+  return HybridWalk(PointerChannelView(channel_), key, tune_in, *dataset_,
+                    generator_, tree_.height(), group_size_);
 }
 
 FilterResult HybridIndexing::Filter(std::string_view value,

@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "schemes/access.h"
 #include "schemes/btree.h"
+#include "schemes/channel_view.h"
 #include "schemes/filter.h"
 #include "schemes/signature.h"
 
@@ -58,6 +59,10 @@ class HybridIndexing : public BroadcastScheme {
   /// index segments.
   FilterResult Filter(std::string_view value, Bytes tune_in) const;
 
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
   int group_size() const { return group_size_; }
   int m() const { return m_; }
   const BTree& tree() const { return tree_; }
@@ -79,6 +84,7 @@ class HybridIndexing : public BroadcastScheme {
   Channel channel_;
   int group_size_;
   int m_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

@@ -61,52 +61,58 @@ Result<IntegratedSignatureIndexing> IntegratedSignatureIndexing::Build(
                                      std::move(channel).value(), group_size);
 }
 
-AccessResult IntegratedSignatureIndexing::Access(std::string_view key,
-                                                 Bytes tune_in) const {
+namespace {
+
+// The integrated-signature sift over either channel view
+// (schemes/channel_view.h).
+template <typename View>
+AccessResult IntegratedWalk(const View& view, std::string_view key,
+                            Bytes tune_in, const Dataset& dataset,
+                            const SignatureGenerator& generator,
+                            int group_size) {
   AccessResult result;
-  const Bytes cycle = channel_.cycle_bytes();
-  const std::size_t num = channel_.num_buckets();
-  const std::vector<std::uint64_t> query = generator_.QuerySignature(key);
-  const int words = generator_.words();
+  const Bytes cycle = view.cycle_bytes();
+  const std::size_t num = view.num_buckets();
+  const std::vector<std::uint64_t> query = generator.QuerySignature(key);
+  const int words = generator.words();
 
   // Listen until the next complete *group signature* bucket.
   Bytes t = tune_in;
-  std::size_t i = channel_.BucketAtPhase(t % cycle);
-  if (channel_.start_phase(i) != t % cycle ||
-      channel_.bucket(i).kind != BucketKind::kSignature) {
+  std::size_t i = view.BucketAtPhase(t % cycle);
+  if (view.start_phase(i) != t % cycle ||
+      view.bucket(i).kind() != BucketKind::kSignature) {
     do {
       i = (i + 1) % num;
-    } while (channel_.bucket(i).kind != BucketKind::kSignature);
-    t = channel_.NextArrivalOfPhase(channel_.start_phase(i), t);
+    } while (view.bucket(i).kind() != BucketKind::kSignature);
+    t = view.NextArrivalOfPhase(view.start_phase(i), t);
   }
   result.tuning_time = t - tune_in;
 
-  const int num_groups =
-      (dataset_->size() + group_size_ - 1) / group_size_;
+  const int num_groups = (dataset.size() + group_size - 1) / group_size;
   for (int scanned = 0; scanned < num_groups; ++scanned) {
-    const Bucket& sig_bucket = channel_.bucket(i);
-    t += sig_bucket.size;
-    result.tuning_time += sig_bucket.size;
+    const auto sig_bucket = view.bucket(i);
+    t += sig_bucket.size();
+    result.tuning_time += sig_bucket.size();
     ++result.probes;
     ++result.index_probes;
-    const bool match = SignatureGenerator::Matches(sig_bucket.signature.data(),
-                                                   query.data(), words);
+    const bool match = SignatureGenerator::Matches(
+        sig_bucket.signature_words(), query.data(), words);
     // Index of the next group-signature bucket.
     std::size_t next_group = i + 1;
     while (next_group < num &&
-           channel_.bucket(next_group).kind != BucketKind::kSignature) {
+           view.bucket(next_group).kind() != BucketKind::kSignature) {
       ++next_group;
     }
     const std::size_t group_end = next_group;  // one past last data bucket
     if (match) {
       bool hit_in_group = false;
       for (std::size_t d = i + 1; d < group_end; ++d) {
-        const Bucket& data_bucket = channel_.bucket(d);
-        t += data_bucket.size;
-        result.tuning_time += data_bucket.size;
+        const auto data_bucket = view.bucket(d);
+        t += data_bucket.size();
+        result.tuning_time += data_bucket.size();
         ++result.probes;
         const Record& record =
-            dataset_->record(static_cast<int>(data_bucket.record_id));
+            dataset.record(static_cast<int>(data_bucket.record_id()));
         if (record.key == key) {
           result.found = true;
           hit_in_group = true;
@@ -118,12 +124,24 @@ AccessResult IntegratedSignatureIndexing::Access(std::string_view key,
     }
     if (scanned + 1 == num_groups) break;  // cycle sifted: not on air
     const Bytes next_phase =
-        next_group < num ? channel_.start_phase(next_group) : 0;
-    t = channel_.NextArrivalOfPhase(next_phase, t);
-    i = channel_.BucketAtPhase(next_phase);
+        next_group < num ? view.start_phase(next_group) : 0;
+    t = view.NextArrivalOfPhase(next_phase, t);
+    i = view.BucketAtPhase(next_phase);
   }
   result.access_time = t - tune_in;
   return result;
+}
+
+}  // namespace
+
+AccessResult IntegratedSignatureIndexing::Access(std::string_view key,
+                                                 Bytes tune_in) const {
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return IntegratedWalk(*arena, key, tune_in, *dataset_, generator_,
+                          group_size_);
+  }
+  return IntegratedWalk(PointerChannelView(channel_), key, tune_in, *dataset_,
+                        generator_, group_size_);
 }
 
 Result<IntegratedSignatureIndexing> IntegratedSignatureIndexing::Restore(

@@ -9,6 +9,7 @@
 #include "broadcast/geometry.h"
 #include "data/dataset.h"
 #include "schemes/access.h"
+#include "schemes/channel_view.h"
 #include "schemes/signature.h"
 
 namespace airindex {
@@ -42,6 +43,10 @@ class IntegratedSignatureIndexing : public BroadcastScheme {
 
   AccessResult Access(std::string_view key, Bytes tune_in) const override;
 
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
   /// Records per signature group.
   int group_size() const { return group_size_; }
 
@@ -58,6 +63,7 @@ class IntegratedSignatureIndexing : public BroadcastScheme {
   SignatureGenerator generator_;
   Channel channel_;
   int group_size_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

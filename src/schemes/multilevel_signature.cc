@@ -81,43 +81,52 @@ Result<MultiLevelSignatureIndexing> MultiLevelSignatureIndexing::Build(
                                      std::move(channel).value(), group_size);
 }
 
-AccessResult MultiLevelSignatureIndexing::Access(std::string_view key,
-                                                 Bytes tune_in) const {
+namespace {
+
+// The two-level signature sift over either channel view
+// (schemes/channel_view.h).
+template <typename View>
+AccessResult MultiLevelWalk(const View& view, std::string_view key,
+                            Bytes tune_in, const Dataset& dataset,
+                            const SignatureGenerator& record_generator,
+                            const SignatureGenerator& group_generator,
+                            int group_size) {
   AccessResult result;
-  const Bytes cycle = channel_.cycle_bytes();
-  const std::size_t num = channel_.num_buckets();
+  const Bytes cycle = view.cycle_bytes();
+  const std::size_t num = view.num_buckets();
   const std::vector<std::uint64_t> group_query =
-      group_generator_.QuerySignature(key);
+      group_generator.QuerySignature(key);
   const std::vector<std::uint64_t> record_query =
-      record_generator_.QuerySignature(key);
-  const int group_words = group_generator_.words();
-  const int record_words = record_generator_.words();
+      record_generator.QuerySignature(key);
+  const int group_words = group_generator.words();
+  const int record_words = record_generator.words();
 
   const auto is_group = [&](std::size_t i) {
-    const Bucket& b = channel_.bucket(i);
-    return b.kind == BucketKind::kSignature && b.level == kGroupSignatureLevel;
+    const auto b = view.bucket(i);
+    return b.kind() == BucketKind::kSignature &&
+           b.level() == kGroupSignatureLevel;
   };
 
   // Listen until the next complete group-signature bucket.
   Bytes t = tune_in;
-  std::size_t i = channel_.BucketAtPhase(t % cycle);
-  if (channel_.start_phase(i) != t % cycle || !is_group(i)) {
+  std::size_t i = view.BucketAtPhase(t % cycle);
+  if (view.start_phase(i) != t % cycle || !is_group(i)) {
     do {
       i = (i + 1) % num;
     } while (!is_group(i));
-    t = channel_.NextArrivalOfPhase(channel_.start_phase(i), t);
+    t = view.NextArrivalOfPhase(view.start_phase(i), t);
   }
   result.tuning_time = t - tune_in;
 
-  const int num_groups = (dataset_->size() + group_size_ - 1) / group_size_;
+  const int num_groups = (dataset.size() + group_size - 1) / group_size;
   for (int scanned = 0; scanned < num_groups; ++scanned) {
-    const Bucket& group_bucket = channel_.bucket(i);
-    t += group_bucket.size;
-    result.tuning_time += group_bucket.size;
+    const auto group_bucket = view.bucket(i);
+    t += group_bucket.size();
+    result.tuning_time += group_bucket.size();
     ++result.probes;
     ++result.index_probes;
     const bool group_match = SignatureGenerator::Matches(
-        group_bucket.signature.data(), group_query.data(), group_words);
+        group_bucket.signature_words(), group_query.data(), group_words);
 
     // Locate the next group start (one past this group's members).
     std::size_t next_group = i + 1;
@@ -126,22 +135,22 @@ AccessResult MultiLevelSignatureIndexing::Access(std::string_view key,
     if (group_match) {
       // Sift the record signatures inside the group.
       for (std::size_t s = i + 1; s < next_group && !result.found; s += 2) {
-        const Bucket& record_sig = channel_.bucket(s);
-        t = channel_.NextArrivalOfPhase(channel_.start_phase(s), t);
-        t += record_sig.size;
-        result.tuning_time += record_sig.size;
+        const auto record_sig = view.bucket(s);
+        t = view.NextArrivalOfPhase(view.start_phase(s), t);
+        t += record_sig.size();
+        result.tuning_time += record_sig.size();
         ++result.probes;
         ++result.index_probes;
-        if (!SignatureGenerator::Matches(record_sig.signature.data(),
+        if (!SignatureGenerator::Matches(record_sig.signature_words(),
                                          record_query.data(), record_words)) {
           continue;  // doze over the data bucket
         }
-        const Bucket& data_bucket = channel_.bucket(s + 1);
-        t += data_bucket.size;
-        result.tuning_time += data_bucket.size;
+        const auto data_bucket = view.bucket(s + 1);
+        t += data_bucket.size();
+        result.tuning_time += data_bucket.size();
         ++result.probes;
         const Record& record =
-            dataset_->record(static_cast<int>(data_bucket.record_id));
+            dataset.record(static_cast<int>(data_bucket.record_id()));
         if (record.key == key) {
           result.found = true;
         } else {
@@ -152,12 +161,24 @@ AccessResult MultiLevelSignatureIndexing::Access(std::string_view key,
     }
     if (scanned + 1 == num_groups) break;  // cycle sifted: not on air
     const Bytes next_phase =
-        next_group < num ? channel_.start_phase(next_group) : 0;
-    t = channel_.NextArrivalOfPhase(next_phase, t);
-    i = channel_.BucketAtPhase(next_phase);
+        next_group < num ? view.start_phase(next_group) : 0;
+    t = view.NextArrivalOfPhase(next_phase, t);
+    i = view.BucketAtPhase(next_phase);
   }
   result.access_time = t - tune_in;
   return result;
+}
+
+}  // namespace
+
+AccessResult MultiLevelSignatureIndexing::Access(std::string_view key,
+                                                 Bytes tune_in) const {
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return MultiLevelWalk(*arena, key, tune_in, *dataset_, record_generator_,
+                          group_generator_, group_size_);
+  }
+  return MultiLevelWalk(PointerChannelView(channel_), key, tune_in, *dataset_,
+                        record_generator_, group_generator_, group_size_);
 }
 
 Result<MultiLevelSignatureIndexing> MultiLevelSignatureIndexing::Restore(

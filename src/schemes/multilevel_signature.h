@@ -9,6 +9,7 @@
 #include "broadcast/geometry.h"
 #include "data/dataset.h"
 #include "schemes/access.h"
+#include "schemes/channel_view.h"
 #include "schemes/signature.h"
 
 namespace airindex {
@@ -40,6 +41,10 @@ class MultiLevelSignatureIndexing : public BroadcastScheme {
 
   AccessResult Access(std::string_view key, Bytes tune_in) const override;
 
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
   /// Records per group signature.
   int group_size() const { return group_size_; }
 
@@ -61,6 +66,7 @@ class MultiLevelSignatureIndexing : public BroadcastScheme {
   SignatureGenerator group_generator_;
   Channel channel_;
   int group_size_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

@@ -119,46 +119,53 @@ Result<OneMIndexing> OneMIndexing::Build(std::shared_ptr<const Dataset> dataset,
                       std::move(channel).value(), m);
 }
 
-AccessResult OneMIndexing::Access(std::string_view key, Bytes tune_in) const {
+namespace {
+
+// The (1,m) access protocol over either channel view
+// (schemes/channel_view.h).
+template <typename View>
+AccessResult OneMWalk(const View& view, std::string_view key, Bytes tune_in,
+                      int tree_height) {
   AccessResult result;
   // Initial wait: listen until the first complete bucket.
-  Bytes t = channel_.NextBoundaryTime(tune_in);
+  Bytes t = view.NextBoundaryTime(tune_in);
   result.tuning_time = t - tune_in;
 
   // Read the first complete bucket to learn the next index segment.
   {
-    const Bucket& first =
-        channel_.bucket(channel_.BucketAtPhase(t % channel_.cycle_bytes()));
-    t += first.size;
-    result.tuning_time += first.size;
+    const auto first = view.bucket(view.BucketAtPhase(t % view.cycle_bytes()));
+    t += first.size();
+    result.tuning_time += first.size();
     ++result.probes;
-    if (first.kind == BucketKind::kIndex) ++result.index_probes;
-    t = channel_.NextArrivalOfPhase(first.next_index_segment_phase, t);
+    if (first.kind() == BucketKind::kIndex) ++result.index_probes;
+    t = view.NextArrivalOfPhase(first.next_index_segment_phase(), t);
   }
 
   // Descend the index tree from the segment's root.
-  const int max_probes = 4 * tree_.height() + 8;
+  const int max_probes = 4 * tree_height + 8;
   while (result.probes < max_probes) {
-    const std::size_t i = channel_.BucketAtPhase(t % channel_.cycle_bytes());
-    const Bucket& bucket = channel_.bucket(i);
-    t += bucket.size;
-    result.tuning_time += bucket.size;
+    const std::size_t i = view.BucketAtPhase(t % view.cycle_bytes());
+    const auto bucket = view.bucket(i);
+    t += bucket.size();
+    result.tuning_time += bucket.size();
     ++result.probes;
-    if (bucket.kind != BucketKind::kIndex) {
+    if (bucket.kind() != BucketKind::kIndex) {
       ++result.anomalies;
       break;
     }
     ++result.index_probes;
-    if (key < bucket.range_lo || key > bucket.range_hi) break;  // not on air
-    const PointerEntry* entry = FindCoveringEntry(bucket.local, key);
-    if (entry == nullptr) break;  // key falls in a gap: not on air
-    t = channel_.NextArrivalOfPhase(entry->target_phase, t);
-    if (bucket.level == 0) {
+    if (key < bucket.range_lo() || key > bucket.range_hi()) {
+      break;  // not on air
+    }
+    const EntryView entry = bucket.FindLocal(key);
+    if (!entry.found) break;  // key falls in a gap: not on air
+    t = view.NextArrivalOfPhase(entry.target_phase, t);
+    if (bucket.level() == 0) {
       // Leaf hit: the target is the data bucket. Download it.
-      const Bucket& data =
-          channel_.bucket(channel_.BucketAtPhase(t % channel_.cycle_bytes()));
-      t += data.size;
-      result.tuning_time += data.size;
+      const auto data =
+          view.bucket(view.BucketAtPhase(t % view.cycle_bytes()));
+      t += data.size();
+      result.tuning_time += data.size();
       ++result.probes;
       result.found = true;
       break;
@@ -167,6 +174,15 @@ AccessResult OneMIndexing::Access(std::string_view key, Bytes tune_in) const {
   if (result.probes >= max_probes && !result.found) ++result.anomalies;
   result.access_time = t - tune_in;
   return result;
+}
+
+}  // namespace
+
+AccessResult OneMIndexing::Access(std::string_view key, Bytes tune_in) const {
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return OneMWalk(*arena, key, tune_in, tree_.height());
+  }
+  return OneMWalk(PointerChannelView(channel_), key, tune_in, tree_.height());
 }
 
 Result<OneMIndexing> OneMIndexing::Restore(

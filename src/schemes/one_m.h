@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "schemes/access.h"
 #include "schemes/btree.h"
+#include "schemes/channel_view.h"
 
 namespace airindex {
 
@@ -45,6 +46,10 @@ class OneMIndexing : public BroadcastScheme {
 
   AccessResult Access(std::string_view key, Bytes tune_in) const override;
 
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
   /// The replication count actually used.
   int m() const { return m_; }
 
@@ -63,6 +68,7 @@ class OneMIndexing : public BroadcastScheme {
   BTree tree_;
   Channel channel_;
   int m_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

@@ -61,6 +61,9 @@ class ArenaBackedScheme : public BroadcastScheme {
     return inner_->Access(key, tune_in);
   }
   const char* name() const override { return inner_->name(); }
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    inner_->AttachArena(std::move(arena));
+  }
 
   /// The wrapped concrete scheme — FlattenSchemeProgram unwraps through
   /// this so a restored scheme can be re-flattened.
@@ -84,39 +87,62 @@ Result<std::unique_ptr<BroadcastScheme>> BuildScheme(
     const BucketGeometry& geometry, const SchemeParams& params) {
   SignatureParams signature_params;
   signature_params.bits_per_attribute = params.signature_bits_per_attribute;
+  Result<std::unique_ptr<BroadcastScheme>> built =
+      Status::InvalidArgument("unknown scheme kind");
   switch (kind) {
     case SchemeKind::kFlat:
-      return Wrap(FlatBroadcast::Build(std::move(dataset), geometry));
+      built = Wrap(FlatBroadcast::Build(std::move(dataset), geometry));
+      break;
     case SchemeKind::kOneM:
-      return Wrap(
+      built = Wrap(
           OneMIndexing::Build(std::move(dataset), geometry, params.one_m_m));
+      break;
     case SchemeKind::kDistributed:
-      return Wrap(DistributedIndexing::Build(std::move(dataset), geometry,
-                                             params.distributed_r));
+      built = Wrap(DistributedIndexing::Build(std::move(dataset), geometry,
+                                              params.distributed_r));
+      break;
     case SchemeKind::kHashing:
-      return Wrap(SimpleHashing::Build(std::move(dataset), geometry,
-                                       params.hashing_allocation_factor));
+      built = Wrap(SimpleHashing::Build(std::move(dataset), geometry,
+                                        params.hashing_allocation_factor));
+      break;
     case SchemeKind::kSignature:
-      return Wrap(SignatureIndexing::Build(std::move(dataset), geometry,
-                                           signature_params));
+      built = Wrap(SignatureIndexing::Build(std::move(dataset), geometry,
+                                            signature_params));
+      break;
     case SchemeKind::kIntegratedSignature:
-      return Wrap(IntegratedSignatureIndexing::Build(
+      built = Wrap(IntegratedSignatureIndexing::Build(
           std::move(dataset), geometry, signature_params,
           params.signature_group_size));
+      break;
     case SchemeKind::kMultiLevelSignature:
-      return Wrap(MultiLevelSignatureIndexing::Build(
+      built = Wrap(MultiLevelSignatureIndexing::Build(
           std::move(dataset), geometry, signature_params,
           params.signature_group_size));
+      break;
     case SchemeKind::kBroadcastDisks:
-      return Wrap(BroadcastDisks::Build(std::move(dataset), geometry,
-                                        params.broadcast_disks));
+      built = Wrap(BroadcastDisks::Build(std::move(dataset), geometry,
+                                         params.broadcast_disks));
+      break;
     case SchemeKind::kHybrid:
-      return Wrap(HybridIndexing::Build(std::move(dataset), geometry,
-                                        signature_params,
-                                        params.signature_group_size,
-                                        params.hybrid_m));
+      built = Wrap(HybridIndexing::Build(std::move(dataset), geometry,
+                                         signature_params,
+                                         params.signature_group_size,
+                                         params.hybrid_m));
+      break;
   }
-  return Status::InvalidArgument("unknown scheme kind");
+  if (!built.ok()) return built;
+  // Offer the scheme its flattened program so Access() runs arena-native
+  // (schemes/channel_view.h). The fingerprints are irrelevant here — the
+  // arena never leaves this process — and a flatten failure just leaves
+  // the scheme on its pointer walk.
+  Result<ProgramArena> arena =
+      FlattenSchemeProgram(kind, *built.value(), /*dataset_fingerprint=*/0,
+                           /*params_fingerprint=*/0);
+  if (arena.ok()) {
+    built.value()->AttachArena(
+        std::make_shared<const ProgramArena>(std::move(arena).value()));
+  }
+  return built;
 }
 
 Result<ProgramArena> FlattenSchemeProgram(SchemeKind kind,
@@ -298,6 +324,9 @@ Result<std::unique_ptr<BroadcastScheme>> RestoreSchemeFromArena(
     }
   }
   if (!inner.ok()) return inner.status();
+  // The loaded arena doubles as the walk surface: attach it before
+  // wrapping so Access() runs arena-native on restored schemes too.
+  inner.value()->AttachArena(arena);
   return std::unique_ptr<BroadcastScheme>(std::make_unique<ArenaBackedScheme>(
       std::move(arena), std::move(inner).value()));
 }

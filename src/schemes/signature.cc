@@ -146,13 +146,40 @@ int SignatureIndexing::CountMatches(const std::uint64_t* query, int first,
   return matches;
 }
 
-AccessResult SignatureIndexing::Access(std::string_view key,
-                                       Bytes tune_in) const {
-  const Bytes it = channel_.bucket(0).size;   // signature bucket
-  const Bytes dt = channel_.bucket(1).size;   // data bucket
+namespace {
+
+// Matches of `query` among `count` records starting at key-order position
+// `first` (circular) in a row-major signature table.
+int CountTableMatches(const std::uint64_t* table, const std::uint64_t* query,
+                      int first, int count, int num, int words) {
+  int matches = 0;
+  int position = first;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t* sig =
+        table + static_cast<std::size_t>(position) *
+                    static_cast<std::size_t>(words);
+    if (SignatureGenerator::Matches(sig, query, words)) ++matches;
+    if (++position == num) position = 0;
+  }
+  return matches;
+}
+
+// Closed-form signature sift over either channel view; `table` is the
+// row-major signature table — the scheme's packed copy on the pointer
+// path, the arena's word pool (same layout: the flatten order appends the
+// alternating cycle's signature buckets in record order) on the arena
+// path.
+template <typename View>
+AccessResult SignatureWalk(const View& view, std::string_view key,
+                           Bytes tune_in, const std::uint64_t* table,
+                           const Dataset& dataset,
+                           const SignatureGenerator& generator) {
+  const Bytes it = view.bucket(0).size();   // signature bucket
+  const Bytes dt = view.bucket(1).size();   // data bucket
   const Bytes period = it + dt;
-  const int pairs = dataset_->size();
-  const Bytes cycle = channel_.cycle_bytes();
+  const int pairs = dataset.size();
+  const Bytes cycle = view.cycle_bytes();
+  const int words = generator.words();
 
   AccessResult result;
   // Listen until the next complete signature bucket.
@@ -168,11 +195,12 @@ AccessResult SignatureIndexing::Access(std::string_view key,
   result.access_time = wait;
   result.tuning_time = wait;
 
-  const std::vector<std::uint64_t> query = generator_.QuerySignature(key);
-  const int target = dataset_->FindIndex(key);
+  const std::vector<std::uint64_t> query = generator.QuerySignature(key);
+  const int target = dataset.FindIndex(key);
   if (target >= 0) {
     const int scanned = (target - start + pairs) % pairs + 1;
-    const int matches = CountMatches(query.data(), start, scanned);
+    const int matches =
+        CountTableMatches(table, query.data(), start, scanned, pairs, words);
     result.false_drops = matches - 1;  // the target always matches
     result.probes = scanned + matches;
     result.index_probes = scanned;
@@ -185,7 +213,8 @@ AccessResult SignatureIndexing::Access(std::string_view key,
 
   // Not on air: the client concludes only after one full cycle of
   // signatures; every match it downloaded was a false drop.
-  const int matches = CountMatches(query.data(), start, pairs);
+  const int matches =
+      CountTableMatches(table, query.data(), start, pairs, pairs, words);
   result.false_drops = matches;
   result.probes = pairs + matches;
   result.index_probes = pairs;
@@ -193,12 +222,23 @@ AccessResult SignatureIndexing::Access(std::string_view key,
       static_cast<Bytes>(pairs) * it + static_cast<Bytes>(matches) * dt;
   const int last = (start + pairs - 1) % pairs;
   const bool last_matched = SignatureGenerator::Matches(
-      packed_.data() + static_cast<std::size_t>(last) *
-                           static_cast<std::size_t>(generator_.words()),
-      query.data(), generator_.words());
+      table + static_cast<std::size_t>(last) * static_cast<std::size_t>(words),
+      query.data(), words);
   result.access_time += static_cast<Bytes>(pairs - 1) * period + it +
                         (last_matched ? dt : 0);
   return result;
+}
+
+}  // namespace
+
+AccessResult SignatureIndexing::Access(std::string_view key,
+                                       Bytes tune_in) const {
+  if (const ArenaChannelView* arena = arena_walk_.view_or_null()) {
+    return SignatureWalk(*arena, key, tune_in, arena->word_pool(), *dataset_,
+                         generator_);
+  }
+  return SignatureWalk(PointerChannelView(channel_), key, tune_in,
+                       packed_.data(), *dataset_, generator_);
 }
 
 AccessResult SignatureIndexing::AccessReference(std::string_view key,

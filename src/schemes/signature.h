@@ -11,6 +11,7 @@
 #include "broadcast/geometry.h"
 #include "data/dataset.h"
 #include "schemes/access.h"
+#include "schemes/channel_view.h"
 #include "schemes/filter.h"
 
 namespace airindex {
@@ -121,6 +122,12 @@ class SignatureIndexing : public BroadcastScheme {
 
   const SignatureGenerator& generator() const { return generator_; }
 
+  /// The arena walk scans the arena's signature word pool, whose layout
+  /// for this alternating sig/data cycle equals the packed table.
+  void AttachArena(std::shared_ptr<const ProgramArena> arena) override {
+    arena_walk_.Attach(std::move(arena), channel_);
+  }
+
  private:
   SignatureIndexing(std::shared_ptr<const Dataset> dataset,
                     SignatureGenerator generator, Channel channel,
@@ -135,6 +142,7 @@ class SignatureIndexing : public BroadcastScheme {
   Channel channel_;
   /// Record signatures packed row-major: words() per record.
   std::vector<std::uint64_t> packed_;
+  ArenaWalkSupport arena_walk_;
 };
 
 }  // namespace airindex

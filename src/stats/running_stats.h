@@ -44,6 +44,25 @@ class RunningStats {
   /// Sum of all samples.
   double sum() const { return mean_ * static_cast<double>(count_); }
 
+  /// Raw second central moment (sum of squared deviations). Together
+  /// with count()/mean() this is the accumulator's full merge state:
+  /// Merge() combines exactly (count, mean, m2), so a accumulator
+  /// round-tripped through FromRaw merges bit-identically to the
+  /// original. min/max are NOT part of the raw state.
+  double m2() const { return m2_; }
+
+  /// Rebuilds an accumulator from its raw merge state (e.g. parsed from
+  /// a sharded partial report). min/max are left at their empty-state
+  /// sentinels — callers that only Merge() and read count/mean/variance
+  /// observe a bit-identical accumulator.
+  static RunningStats FromRaw(std::int64_t count, double mean, double m2) {
+    RunningStats stats;
+    stats.count_ = count;
+    stats.mean_ = mean;
+    stats.m2_ = m2;
+    return stats;
+  }
+
  private:
   std::int64_t count_ = 0;
   double mean_ = 0.0;

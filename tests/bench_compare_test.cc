@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/json_report.h"
+#include "core/shard.h"
+
 namespace airindex {
 namespace {
 
@@ -340,6 +343,58 @@ TEST(BenchCompareTest, FleetAccountingGatedUnderStrict) {
   BenchReport negative = base;
   negative.counters.Increment("fleet.slots_scanned", -1);
   EXPECT_FALSE(CompareBenchReports(negative, negative, strict).passed());
+}
+
+TEST(BenchCompareTest, ShardMetadataIgnoredByGate) {
+  // A partial report carries a `shard` root object and the sharding
+  // timing keys (shard_index/shard_count/cell_wall_seconds). The gate
+  // must parse such a document and compare it clean against a baseline
+  // written before sharding existed — shard metadata is bookkeeping for
+  // bench_merge, never a gated quantity.
+  BenchReport cand = BaseReport();
+  cand.timing.shard_index = 2;
+  cand.timing.shard_count = 4;
+  cand.timing.cell_wall_seconds = {0.5, 0.25};
+
+  ShardSection section;
+  section.spec = ShardSpec{2, 4};
+  ShardCell cell;
+  cell.min_rounds = 10;
+  cell.max_rounds = 40;
+  cell.confidence_level = 0.99;
+  cell.confidence_accuracy = 0.01;
+  ReplicationPayload payload;
+  payload.id = 7;
+  payload.access_count = 20000;
+  payload.access_mean = 500000.0;
+  payload.metrics.Increment("sim.events_processed", 100);
+  cell.replications.push_back(std::move(payload));
+  section.cells.push_back(std::move(cell));
+
+  JsonValue root = BenchReportToJson(cand);
+  root.Set("shard", ShardSectionToJson(section));
+  auto parsed = JsonValue::Parse(root.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(HasShardSection(parsed.value()));
+  auto loaded = BenchReportFromJson(parsed.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const BenchReport base = BaseReport();
+  EXPECT_TRUE(
+      CompareBenchReports(base, loaded.value(), CompareOptions{}).passed());
+  CompareOptions strict;
+  strict.strict_counters = true;
+  EXPECT_TRUE(CompareBenchReports(base, loaded.value(), strict).passed());
+
+  // Point and counter drift still hard-fail on a sharded candidate: the
+  // shard object relaxes nothing.
+  BenchReport drifted = loaded.value();
+  drifted.points[0].metrics[0].second.mean += 50000.0;
+  EXPECT_FALSE(
+      CompareBenchReports(base, drifted, CompareOptions{}).passed());
+  BenchReport counter_drift = loaded.value();
+  counter_drift.counters.Increment("sim.events_processed", 1);
+  EXPECT_FALSE(CompareBenchReports(base, counter_drift, strict).passed());
 }
 
 TEST(BenchCompareTest, StrictCountersDetectDrift) {

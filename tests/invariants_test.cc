@@ -23,6 +23,12 @@
 //      the deserialized arena and a re-flatten of the restored scheme are
 //      byte-identical to the original arena, and the restored scheme
 //      answers every probe of the case identically to the built one.
+//
+// Shard property (core/shard.h):
+//  I8. for random sweeps and N ∈ {2, 3, 5}, running every shard without
+//      the stopping rule and replaying the merge with MergeShardedReports
+//      reproduces the unsharded report bit-for-bit (points and counters);
+//      and PartitionSweep's per-shard ranges partition every cell exactly.
 
 #include <cstdint>
 #include <memory>
@@ -33,6 +39,8 @@
 
 #include "broadcast/snapshot.h"
 #include "core/experiment.h"
+#include "core/json_report.h"
+#include "core/shard.h"
 #include "core/simulator.h"
 #include "data/dataset.h"
 #include "des/random.h"
@@ -320,6 +328,146 @@ TEST(InvariantsTest, JobsBitIdentity) {
       EXPECT_EQ(reference.tuning.mean(), other.tuning.mean());
       EXPECT_EQ(reference.probes.mean(), other.probes.mean());
       EXPECT_TRUE(reference.metrics == other.metrics);
+    }
+  }
+}
+
+// I8 support: the report a bench driver would write for a sweep —
+// exactly AddSimulationPoint's construction (bench/bench_main.cc), so
+// the property exercises the same bytes the JSON gate compares.
+BenchReport ReportFromSweep(const std::vector<Result<SimulationResult>>& runs) {
+  BenchReport report;
+  report.bench = "shard_property";
+  std::size_t index = 0;
+  for (const Result<SimulationResult>& run : runs) {
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    const SimulationResult& sim = run.value();
+    BenchPoint point;
+    point.labels = {{"cell", std::to_string(index++)}};
+    point.metrics.emplace_back(
+        "access_bytes", BenchMetricValue{sim.access.mean(),
+                                         sim.access_check.half_width, false});
+    point.metrics.emplace_back(
+        "tuning_bytes", BenchMetricValue{sim.tuning.mean(),
+                                         sim.tuning_check.half_width, false});
+    point.replications = sim.rounds;
+    point.requests = sim.requests;
+    point.converged = sim.converged;
+    report.counters.Merge(sim.metrics);
+    report.points.push_back(std::move(point));
+  }
+  return report;
+}
+
+// Canonical bytes of a report with the (merged-not-compared) timing
+// block blanked out.
+std::string CanonicalReportBytes(BenchReport report) {
+  report.timing = RunTiming{};
+  return BenchReportToJson(report).Serialize();
+}
+
+// I8a: PartitionSweep's ranges partition every cell: contiguous across
+// shard indices, starting at 0 and ending at the cell's cap.
+TEST(InvariantsTest, PartitionSweepCoversEveryCell) {
+  constexpr std::uint64_t kPartitionSeedBase = 1u << 22;
+  for (std::uint64_t trial = 0; trial < 32; ++trial) {
+    Rng rng(ReplicationSeed(kHarnessSeed, kPartitionSeedBase + trial));
+    std::vector<int> caps;
+    const int cells = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int c = 0; c < cells; ++c) {
+      caps.push_back(1 + static_cast<int>(rng.NextBounded(40)));
+    }
+    for (const int count : {2, 3, 5, 7}) {
+      SCOPED_TRACE("trial " + std::to_string(trial) + " shards " +
+                   std::to_string(count));
+      // next[c] is where cell c's next range must start.
+      std::vector<int> next(caps.size(), 0);
+      for (int index = 0; index < count; ++index) {
+        const std::vector<ShardRange> ranges =
+            PartitionSweep(caps, ShardSpec{index, count});
+        ASSERT_EQ(ranges.size(), caps.size());
+        for (std::size_t c = 0; c < caps.size(); ++c) {
+          // An unowned cell is the {0, 0} placeholder, not a cursor.
+          if (ranges[c].empty()) continue;
+          EXPECT_EQ(ranges[c].lo, next[c]);
+          EXPECT_LT(ranges[c].lo, ranges[c].hi);
+          EXPECT_LE(ranges[c].hi, caps[c]);
+          next[c] = ranges[c].hi;
+        }
+      }
+      for (std::size_t c = 0; c < caps.size(); ++c) {
+        EXPECT_EQ(next[c], caps[c]);
+      }
+    }
+  }
+}
+
+// I8: sharded sweeps merge back to the unsharded report bit-for-bit.
+// Each shard runs its slice without the stopping rule; the merge replays
+// the coordinator loop over the id-ordered union and must land on the
+// identical points and counters — the contract tools/bench_merge.cc and
+// the CI sharded leg rely on.
+TEST(InvariantsTest, ShardPartitionBitIdentity) {
+  constexpr std::uint64_t kShardSeedBase = 1u << 21;
+  constexpr int kNumTrials = 3;
+  for (std::uint64_t trial = 0; trial < kNumTrials; ++trial) {
+    Rng rng(ReplicationSeed(kHarnessSeed, kShardSeedBase + trial));
+    const int num_cells = 2 + static_cast<int>(rng.NextBounded(3));
+    std::vector<TestbedConfig> configs;
+    for (int cell = 0; cell < num_cells; ++cell) {
+      const RandomCase c = DrawCase(&rng);
+      TestbedConfig config;
+      config.scheme = c.scheme;
+      config.geometry = c.geometry;
+      config.multichannel = c.multichannel;
+      config.num_records = c.num_records;
+      config.data_availability = (rng.NextBounded(2) == 0) ? 1.0 : 0.6;
+      config.zipf_theta = (rng.NextBounded(2) == 0) ? 0.0 : 0.8;
+      config.requests_per_round = 40;
+      config.min_rounds = 2 + static_cast<int>(rng.NextBounded(3));
+      config.max_rounds =
+          config.min_rounds + 1 + static_cast<int>(rng.NextBounded(5));
+      // Loose enough that some cells converge before max_rounds, so the
+      // replayed stopping rule truncates inside a shard's slice.
+      config.confidence_accuracy = 0.05;
+      config.seed = ReplicationSeed(kHarnessSeed, 9000 + trial * 16 + cell);
+      configs.push_back(config);
+    }
+
+    ParallelExperiment reference({.jobs = 2});
+    const std::string want =
+        CanonicalReportBytes(ReportFromSweep(reference.RunSweep(configs)));
+
+    for (const int count : {2, 3, 5}) {
+      SCOPED_TRACE("harness seed " + std::to_string(kHarnessSeed) +
+                   " shard-trial " + std::to_string(trial) + " shards " +
+                   std::to_string(count));
+      std::vector<ShardedPartial> partials;
+      for (int index = 0; index < count; ++index) {
+        const ShardSpec spec{index, count};
+        ParallelExperiment experiment({.jobs = 2, .shard = spec});
+        BenchReport report = ReportFromSweep(experiment.RunSweep(configs));
+        report.timing = experiment.timing();
+        ShardSection section{spec, experiment.shard_cells()};
+        ASSERT_EQ(section.cells.size(), configs.size());
+        // Round-trip the partial through its serialized document — the
+        // path bench_merge reads from disk — so the property also covers
+        // the shortest-round-trip double encoding of the payloads.
+        JsonValue root = BenchReportToJson(report);
+        root.Set("shard", ShardSectionToJson(section));
+        auto parsed = JsonValue::Parse(root.Serialize());
+        ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+        ASSERT_TRUE(HasShardSection(parsed.value()));
+        auto loaded_report = BenchReportFromJson(parsed.value());
+        ASSERT_TRUE(loaded_report.ok()) << loaded_report.status().ToString();
+        auto loaded_shard = ShardSectionFromJson(parsed.value());
+        ASSERT_TRUE(loaded_shard.ok()) << loaded_shard.status().ToString();
+        partials.push_back(ShardedPartial{std::move(loaded_report).value(),
+                                          std::move(loaded_shard).value()});
+      }
+      auto merged = MergeShardedReports(partials);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      EXPECT_EQ(CanonicalReportBytes(std::move(merged).value()), want);
     }
   }
 }

@@ -1,0 +1,98 @@
+// bench_merge: combines the partial JSON reports of a sharded sweep
+// (`--shard I/N`, core/shard.h) into the single report the unsharded run
+// would have written — byte-identical in points and counters, with the
+// timing block summed across shards.
+//
+// Usage: bench_merge -o MERGED.json PART1.json PART2.json ... PARTN.json
+//
+// Every shard of the run must be present exactly once; the tool replays
+// the replication engine's id-ordered merge loop per sweep cell, so a
+// missing or duplicated shard is detected, not papered over. Exit codes:
+// 0 merged, 1 merge/validation error, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/json_report.h"
+#include "core/shard.h"
+
+namespace airindex {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::string output_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 ||
+        std::strcmp(argv[i], "--output") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a path\n", argv[i]);
+        return 2;
+      }
+      output_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::fprintf(stderr,
+                   "usage: bench_merge -o MERGED.json PART1.json ... "
+                   "PARTN.json\n");
+      return 2;
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (output_path.empty() || inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_merge -o MERGED.json PART1.json ... "
+                 "PARTN.json\n");
+    return 2;
+  }
+
+  std::vector<ShardedPartial> partials;
+  partials.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    Result<JsonValue> document = ReadJsonFile(path);
+    if (!document.ok()) {
+      std::fprintf(stderr, "bench_merge: %s: %s\n", path.c_str(),
+                   document.status().ToString().c_str());
+      return 1;
+    }
+    Result<BenchReport> report = BenchReportFromJson(document.value());
+    if (!report.ok()) {
+      std::fprintf(stderr, "bench_merge: %s: %s\n", path.c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    Result<ShardSection> shard = ShardSectionFromJson(document.value());
+    if (!shard.ok()) {
+      std::fprintf(stderr, "bench_merge: %s: %s\n", path.c_str(),
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    partials.push_back(ShardedPartial{std::move(report).value(),
+                                      std::move(shard).value()});
+  }
+
+  Result<BenchReport> merged = MergeShardedReports(partials);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "bench_merge: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = WriteJsonFile(output_path, BenchReportToJson(merged.value()));
+      !s.ok()) {
+    std::fprintf(stderr, "bench_merge: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "bench_merge: merged %zu shards, %zu points -> %s\n",
+               partials.size(), merged.value().points.size(),
+               output_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }
