@@ -146,6 +146,30 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
                      argv[i]);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--scheduler") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--scheduler requires a name\n");
+        std::exit(2);
+      }
+      if (!ParseSchedulerKind(argv[++i], &options.schedule.scheduler)) {
+        std::fprintf(stderr,
+                     "unknown scheduler '%s' (want flat, sqrt or online)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--disks") == 0) {
+      options.schedule.num_disks = ParseIntArg(argc, argv, &i, "--disks");
+      if (options.schedule.num_disks < 1) {
+        std::fprintf(stderr, "--disks must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--retier-requests") == 0) {
+      options.schedule.retier_requests =
+          ParseIntArg(argc, argv, &i, "--retier-requests");
+      if (options.schedule.retier_requests < 1) {
+        std::fprintf(stderr, "--retier-requests must be >= 1\n");
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--allocation") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--allocation requires a strategy name\n");
@@ -176,6 +200,7 @@ void ApplyWorkloadOptions(const BenchOptions& options,
                           TestbedConfig* config) {
   if (options.zipf_theta >= 0.0) config->zipf_theta = options.zipf_theta;
   config->client = options.client;
+  config->params.schedule = options.schedule;
   config->program_cache_dir = options.program_cache_dir;
 }
 
@@ -232,6 +257,15 @@ BenchReporter::BenchReporter(std::string bench_name,
     AddConfig("update_rate", FormatFlagDouble(options.client.update_rate));
     AddConfig("cache_warmup",
               std::to_string(options.client.warmup_queries));
+  }
+  // Likewise only an active scheduler is recorded.
+  if (options.schedule.active()) {
+    AddConfig("scheduler", SchedulerKindToString(options.schedule.scheduler));
+    AddConfig("disks", std::to_string(options.schedule.num_disks));
+    if (options.schedule.scheduler == SchedulerKind::kOnline) {
+      AddConfig("retier_requests",
+                std::to_string(options.schedule.retier_requests));
+    }
   }
 }
 

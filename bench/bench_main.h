@@ -48,6 +48,14 @@
 //                  identical by construction — the flag exists for
 //                  micro-benchmarking and bisection, and is deliberately
 //                  kept out of the JSON config block
+//   --scheduler S  slot scheduler: flat (default, the paper's layouts),
+//                  sqrt (square-root-rule broadcast disks over the
+//                  workload skew) or online (sqrt start + per-run
+//                  re-tiering from the observed request stream). Testbed
+//                  benches honour it via ApplyWorkloadOptions
+//   --disks D      broadcast disks (popularity tiers) for sqrt/online
+//   --retier-requests N  online re-tiering epoch length, in observed
+//                  on-air requests
 //
 // BenchReporter accumulates the report while the bench prints its usual
 // tables, then writes the JSON file on Finish() when --json was given.
@@ -96,6 +104,11 @@ struct BenchOptions {
   /// --shard I/N, already converted to the 0-based internal form. The
   /// default ({0, 1}) is the ordinary unsharded run.
   ShardSpec shard;
+  /// --scheduler / --disks / --retier-requests. The default (kFlat)
+  /// keeps every scheme's committed layout, ApplyWorkloadOptions stays a
+  /// no-op for it, and reports stay byte-identical with pre-scheduler
+  /// baselines.
+  ScheduleParams schedule;
 };
 
 /// Parses the shared flags, ignoring anything it does not recognise (so a

@@ -1,0 +1,178 @@
+// Skew-aware scheduling: simulated expected access time versus the
+// square-root-rule lower bound (Ammar & Wong), across workload skew θ,
+// disk count and scheduler — the flat single-slot layout, the planned
+// square-root broadcast disks, and the online re-tiering loop that
+// re-assigns records to disks from the observed request stream. The
+// "(A)" column next to each sqrt series is the exact closed-form
+// expectation over the planned slot schedule (ScheduledScanAccessModel);
+// "bound (A)" is the fractional lower bound no schedule can beat.
+//
+// Usage: fig_scheduling [--quick] [--csv] [--jobs N] [--records N]
+//                       [--json PATH] [--shard I/N]
+// (shared bench flags — see bench/bench_main.h; the scheduler/disk/skew
+// grid is this bench's sweep axis, so --scheduler, --disks and --zipf
+// are ignored here.)
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analytical/models.h"
+#include "bench_main.h"
+#include "broadcast/schedule.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/simulator.h"
+#include "core/testbed_config.h"
+
+namespace airindex {
+namespace {
+
+struct SeriesUnderTest {
+  SchedulerKind scheduler;
+  int disks;  // ignored for kFlat
+  const char* label;
+};
+
+/// Exact expected access time of the planned square-root schedule for
+/// this cell — the series simulation must track (the online series may
+/// drift off it as re-tiering reacts to the sampled stream).
+double PlannedModel(int num_records, double theta, int disks,
+                    const BucketGeometry& geometry) {
+  const std::vector<double> popularity =
+      ZipfRankPopularity(num_records, theta);
+  const Result<DiskAssignment> assignment =
+      SquareRootAssignment(popularity, disks);
+  if (!assignment.ok()) return 0.0;
+  const DiskLayout layout = BuildDiskLayout(assignment.value());
+  return ScheduledScanAccessModel(
+      layout.record_slots,
+      static_cast<std::int64_t>(layout.slot_record.size()),
+      geometry.data_bucket_bytes(), popularity);
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  const bool quick = options.quick;
+  const bool csv = options.csv;
+
+  const std::vector<double> thetas = {0.6, 0.95};
+  const int num_records = options.records > 0 ? options.records
+                          : quick             ? 600
+                                              : 800;
+  const std::vector<SeriesUnderTest> series_list = {
+      {SchedulerKind::kFlat, 0, "flat"},
+      {SchedulerKind::kSquareRoot, 4, "sqrt d4"},
+      {SchedulerKind::kSquareRoot, 8, "sqrt d8"},
+      {SchedulerKind::kOnline, 4, "online d4"},
+      {SchedulerKind::kOnline, 8, "online d8"},
+  };
+
+  std::vector<std::string> columns = {"theta", "bound (A)"};
+  for (const auto& series : series_list) {
+    columns.push_back(std::string(series.label) + " (S)");
+    if (series.scheduler == SchedulerKind::kSquareRoot) {
+      columns.push_back(std::string(series.label) + " (A)");
+    }
+  }
+  ReportTable access_table(columns);
+
+  BenchReporter reporter("fig_scheduling", options);
+  reporter.SetShard(options.shard);
+  reporter.AddConfig("records", std::to_string(num_records));
+  reporter.AddConfig("thetas", "0.6,0.95");
+  reporter.AddConfig("schedulers", "flat,sqrt,online");
+
+  std::cout << "Scheduling: access time vs skew, scheduler and disk count\n"
+            << num_records
+            << " records, flat broadcast base, Table 1 settings otherwise\n"
+            << std::flush;
+
+  std::vector<TestbedConfig> configs;
+  for (const double theta : thetas) {
+    for (const auto& series : series_list) {
+      TestbedConfig config;
+      config.scheme = SchemeKind::kFlat;
+      config.num_records = num_records;
+      config.zipf_theta = theta;
+      config.params.schedule.scheduler = series.scheduler;
+      if (series.scheduler != SchedulerKind::kFlat) {
+        config.params.schedule.num_disks = series.disks;
+      }
+      config.seed = 4242 + static_cast<std::uint64_t>(num_records);
+      config.program_cache_dir = options.program_cache_dir;
+      if (quick) {
+        config.min_rounds = 10;
+        config.max_rounds = 40;
+      }
+      configs.push_back(config);
+    }
+  }
+  ParallelExperiment experiment(
+      {.jobs = options.jobs, .shard = options.shard});
+  const auto runs = experiment.RunSweep(configs);
+
+  std::size_t index = 0;
+  for (const double theta : thetas) {
+    const double bound =
+        SquareRootRuleBound(ZipfRankPopularity(num_records, theta),
+                            configs.front().geometry.data_bucket_bytes());
+    std::vector<std::string> access_row = {FormatDouble(theta, 2),
+                                           FormatDouble(bound, 0)};
+    for (const auto& series : series_list) {
+      const std::size_t cell = index;
+      const TestbedConfig& config = configs[index];
+      const Result<SimulationResult>& run = runs[index++];
+      if (!run.ok()) {
+        std::cerr << "simulation failed: " << run.status().ToString() << "\n";
+        return 1;
+      }
+      const SimulationResult& sim = run.value();
+      BenchPoint& point = reporter.AddSimulationPoint(
+          {{"theta", FormatDouble(theta, 2)}, {"series", series.label}}, sim);
+      point.metrics.emplace_back("sqrt_bound_bytes",
+                                 BenchMetricValue{bound, 0.0, false});
+      if (series.scheduler != SchedulerKind::kFlat) {
+        point.metrics.emplace_back(
+            "model_access_bytes",
+            BenchMetricValue{PlannedModel(num_records, theta, series.disks,
+                                          config.geometry),
+                             0.0, false});
+      }
+      if (options.shard.active()) {
+        reporter.AttachShardCell(experiment.shard_cells()[cell]);
+      }
+
+      access_row.push_back(FormatDouble(sim.access.mean(), 0));
+      if (series.scheduler == SchedulerKind::kSquareRoot) {
+        access_row.push_back(FormatDouble(
+            PlannedModel(num_records, theta, series.disks, config.geometry),
+            0));
+      }
+      if (sim.anomalies != 0 || sim.outcome_mismatches != 0) {
+        std::cerr << "WARNING: " << series.label << " at theta " << theta
+                  << ": " << sim.anomalies << " anomalies, "
+                  << sim.outcome_mismatches << " outcome mismatches\n";
+      }
+    }
+    access_table.AddRow(access_row);
+  }
+
+  std::cout << "\nAccess time (bytes) vs skew: simulated schedulers against "
+               "the square-root-rule bound\n";
+  csv ? access_table.PrintCsv(std::cout) : access_table.Print(std::cout);
+  std::cout << '\n';
+  PrintTimingSummary(std::cout, experiment.timing());
+  PrintProgramCacheSummary(experiment.program_cache(), options.shard);
+  if (Status s = reporter.Finish(experiment.timing()); !s.ok()) {
+    std::cerr << "json report failed: " << s.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace airindex
+
+int main(int argc, char** argv) { return airindex::Main(argc, argv); }

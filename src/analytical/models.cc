@@ -398,4 +398,39 @@ AnalyticalEstimate ReplicatedIndexModel(int num_records,
   return estimate;
 }
 
+
+double SquareRootRuleBound(const std::vector<double>& popularity,
+                           Bytes bucket_bytes) {
+  const auto dt = static_cast<double>(bucket_bytes);
+  double sqrt_sum = 0.0;
+  for (const double p : popularity) sqrt_sum += std::sqrt(std::max(p, 0.0));
+  return 0.5 * dt * sqrt_sum * sqrt_sum + dt;
+}
+
+double ScheduledScanAccessModel(
+    const std::vector<std::vector<int>>& record_slots, std::int64_t num_slots,
+    Bytes bucket_bytes, const std::vector<double>& popularity) {
+  const auto dt = static_cast<double>(bucket_bytes);
+  const auto slots = static_cast<double>(num_slots);
+  double expected = 0.0;
+  for (std::size_t i = 0;
+       i < record_slots.size() && i < popularity.size(); ++i) {
+    const std::vector<int>& occ = record_slots[i];
+    if (occ.empty()) continue;
+    // Cyclic gap lengths between consecutive occurrences; a client whose
+    // boundary phase lands in a gap of L slots reads 1..L buckets with
+    // equal probability.
+    double gap_sum = 0.0;
+    for (std::size_t j = 0; j < occ.size(); ++j) {
+      const std::int64_t next =
+          j + 1 < occ.size() ? occ[j + 1]
+                             : occ.front() + num_slots;
+      const double gap = static_cast<double>(next - occ[j]);
+      gap_sum += gap * (gap - 1.0) / 2.0;
+    }
+    expected += popularity[i] * (0.5 * dt + dt * gap_sum / slots + dt);
+  }
+  return expected;
+}
+
 }  // namespace airindex

@@ -2,6 +2,7 @@
 #ifndef AIRINDEX_ANALYTICAL_MODELS_H_
 #define AIRINDEX_ANALYTICAL_MODELS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "broadcast/geometry.h"
@@ -161,6 +162,31 @@ AnalyticalEstimate ReplicatedIndexModel(int num_records,
                                         const BucketGeometry& geometry,
                                         int num_channels,
                                         Bytes switch_cost_bytes);
+
+// --- skew-aware scheduling (broadcast/schedule.h) ------------------------
+
+/// Square-root-rule lower bound on the expected access time of ANY
+/// single-channel schedule of uniform `bucket_bytes` data slots serving
+/// requests with the given popularity profile (Ammar & Wong): with
+/// per-record spacing ∝ 1/√p the expected wait is (Dt/2)(Σ√p_i)², plus
+/// the final download. The bound is fractional (ignores integer slot
+/// rounding and the boundary half-bucket), which is exactly why it is a
+/// lower bound for the simulated walk.
+double SquareRootRuleBound(const std::vector<double>& popularity,
+                           Bytes bucket_bytes);
+
+/// Exact expected access time of the scheduled scan walk over a concrete
+/// slot schedule: `record_slots[i]` lists record i's sorted slot indices
+/// in a cycle of `num_slots` uniform slots. A client tuning in uniformly
+/// waits half a bucket to the boundary, lands in gap j (length L_j
+/// slots, cyclic) with probability L_j/num_slots, reads to the record's
+/// next occurrence inclusive:
+///   E[access | i] = Dt/2 + (Dt/M) Σ_j L_j(L_j-1)/2 + Dt.
+/// Weighted by `popularity`. For the equally-spaced fractional optimum
+/// this reduces to SquareRootRuleBound exactly.
+double ScheduledScanAccessModel(
+    const std::vector<std::vector<int>>& record_slots, std::int64_t num_slots,
+    Bytes bucket_bytes, const std::vector<double>& popularity);
 
 }  // namespace airindex
 

@@ -1,0 +1,348 @@
+#include "broadcast/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace airindex {
+
+const char* SchedulerKindToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFlat:
+      return "flat";
+    case SchedulerKind::kSquareRoot:
+      return "sqrt";
+    case SchedulerKind::kOnline:
+      return "online";
+  }
+  return "unknown";
+}
+
+bool ParseSchedulerKind(std::string_view text, SchedulerKind* out) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kFlat, SchedulerKind::kSquareRoot,
+        SchedulerKind::kOnline}) {
+    if (text == SchedulerKindToString(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> ZipfRankPopularity(int num_ranks, double theta,
+                                   int rank_offset, int total_ranks) {
+  if (num_ranks <= 0 || rank_offset < 0) return {};
+  std::vector<double> popularity(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) {
+    popularity[static_cast<std::size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(rank_offset + i + 1), theta);
+  }
+  double norm = 0.0;
+  if (total_ranks > rank_offset) {
+    for (int k = 0; k < total_ranks; ++k) {
+      norm += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    }
+  } else {
+    norm = std::accumulate(popularity.begin(), popularity.end(), 0.0);
+  }
+  for (double& p : popularity) p /= norm;
+  return popularity;
+}
+
+int DiskAssignment::DiskOfPosition(int position) const {
+  const auto it =
+      std::upper_bound(disk_begin.begin(), disk_begin.end(), position);
+  return static_cast<int>(it - disk_begin.begin()) - 1;
+}
+
+std::vector<int> DiskAssignment::DiskOfRecord() const {
+  std::vector<int> disk_of(record_order.size(), 0);
+  for (int d = 0; d < num_disks(); ++d) {
+    for (int p = disk_begin[static_cast<std::size_t>(d)];
+         p < disk_begin[static_cast<std::size_t>(d) + 1]; ++p) {
+      disk_of[static_cast<std::size_t>(
+          record_order[static_cast<std::size_t>(p)])] = d;
+    }
+  }
+  return disk_of;
+}
+
+std::int64_t DiskAssignment::SlotsPerMajorCycle() const {
+  std::int64_t slots = 0;
+  for (int d = 0; d < num_disks(); ++d) {
+    slots += static_cast<std::int64_t>(
+                 disk_begin[static_cast<std::size_t>(d) + 1] -
+                 disk_begin[static_cast<std::size_t>(d)]) *
+             frequencies[static_cast<std::size_t>(d)];
+  }
+  return slots;
+}
+
+namespace {
+
+/// Shared frequency validation: positive, non-increasing, every entry
+/// dividing the hottest disk's.
+Status ValidateFrequencies(const std::vector<int>& frequencies) {
+  const int max_freq = frequencies.front();
+  for (std::size_t d = 0; d < frequencies.size(); ++d) {
+    const int freq = frequencies[d];
+    if (freq <= 0 || freq > max_freq || max_freq % freq != 0) {
+      return Status::InvalidArgument(
+          "disk frequencies must be positive, non-increasing, and divide "
+          "the hottest disk's frequency");
+    }
+    if (d > 0 && freq > frequencies[d - 1]) {
+      return Status::InvalidArgument("disk frequencies must be non-increasing");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<int> IdentityOrder(int num_records) {
+  std::vector<int> order(static_cast<std::size_t>(num_records));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace
+
+Result<DiskAssignment> AssignmentFromFractions(
+    const std::vector<double>& fractions, const std::vector<int>& frequencies,
+    int num_records) {
+  const std::size_t num_disks = fractions.size();
+  if (num_disks == 0 || frequencies.size() != num_disks) {
+    return Status::InvalidArgument(
+        "disk_fractions and disk_frequencies must be non-empty and match");
+  }
+  double fraction_sum = 0.0;
+  for (const double f : fractions) {
+    if (f <= 0.0) {
+      return Status::InvalidArgument("disk fractions must be positive");
+    }
+    fraction_sum += f;
+  }
+  if (std::fabs(fraction_sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("disk fractions must sum to 1");
+  }
+  if (Status s = ValidateFrequencies(frequencies); !s.ok()) return s;
+  if (num_records < static_cast<int>(num_disks)) {
+    return Status::InvalidArgument("need at least one record per disk");
+  }
+
+  // Record ranges per disk, by cumulative fraction (at least one each).
+  DiskAssignment assignment;
+  assignment.frequencies = frequencies;
+  assignment.record_order = IdentityOrder(num_records);
+  assignment.disk_begin.assign(num_disks + 1, 0);
+  double cumulative = 0.0;
+  for (std::size_t d = 0; d < num_disks; ++d) {
+    cumulative += fractions[d];
+    assignment.disk_begin[d + 1] = std::clamp(
+        static_cast<int>(std::lround(cumulative * num_records)),
+        assignment.disk_begin[d] + 1,
+        num_records - static_cast<int>(num_disks - d - 1));
+  }
+  assignment.disk_begin[num_disks] = num_records;
+  return assignment;
+}
+
+Result<DiskAssignment> SquareRootAssignment(
+    const std::vector<double>& popularity, int num_disks) {
+  const int num_records = static_cast<int>(popularity.size());
+  if (num_records == 0) {
+    return Status::InvalidArgument(
+        "square-root assignment needs a popularity profile");
+  }
+  if (num_disks < 1 || num_disks > 64) {
+    return Status::InvalidArgument("num_disks must be in [1, 64]");
+  }
+  if (num_records < num_disks) {
+    return Status::InvalidArgument("need at least one record per disk");
+  }
+  std::vector<double> sqrt_mass(popularity.size());
+  for (std::size_t i = 0; i < popularity.size(); ++i) {
+    if (popularity[i] <= 0.0) {
+      return Status::InvalidArgument("popularity must be positive");
+    }
+    if (i > 0 && popularity[i] > popularity[i - 1]) {
+      return Status::InvalidArgument(
+          "popularity must be non-increasing (rank order)");
+    }
+    sqrt_mass[i] = std::sqrt(popularity[i]);
+  }
+  const double total_mass =
+      std::accumulate(sqrt_mass.begin(), sqrt_mass.end(), 0.0);
+
+  // Boundaries: each disk takes an equal share of the sqrt-popularity
+  // mass (the square-root rule allocates bandwidth ∝ √p, so equal-mass
+  // tiers are equal-bandwidth tiers), at least one record per disk.
+  DiskAssignment assignment;
+  assignment.record_order = IdentityOrder(num_records);
+  assignment.disk_begin.assign(static_cast<std::size_t>(num_disks) + 1, 0);
+  double cumulative = 0.0;
+  int position = 0;
+  for (int d = 0; d < num_disks; ++d) {
+    const double target =
+        total_mass * static_cast<double>(d + 1) / num_disks;
+    const int limit = num_records - (num_disks - d - 1);
+    do {
+      cumulative += sqrt_mass[static_cast<std::size_t>(position++)];
+    } while (position < limit && cumulative < target);
+    assignment.disk_begin[static_cast<std::size_t>(d) + 1] = position;
+  }
+  assignment.disk_begin[static_cast<std::size_t>(num_disks)] = num_records;
+
+  // Frequencies: disk d's mean √p relative to the coldest disk's, rounded
+  // onto the divisors of the hottest frequency (exact per-cycle
+  // accounting needs every f_d to divide f_0). Capped at 64 so a very
+  // skewed profile cannot explode the cycle.
+  std::vector<double> mean_mass(static_cast<std::size_t>(num_disks));
+  for (int d = 0; d < num_disks; ++d) {
+    const int lo = assignment.disk_begin[static_cast<std::size_t>(d)];
+    const int hi = assignment.disk_begin[static_cast<std::size_t>(d) + 1];
+    const double sum = std::accumulate(sqrt_mass.begin() + lo,
+                                       sqrt_mass.begin() + hi, 0.0);
+    mean_mass[static_cast<std::size_t>(d)] = sum / (hi - lo);
+  }
+  const double coldest = mean_mass.back();
+  const int max_freq = static_cast<int>(
+      std::clamp<long>(std::lround(mean_mass.front() / coldest), 1, 64));
+  assignment.frequencies.assign(static_cast<std::size_t>(num_disks), 1);
+  assignment.frequencies.front() = max_freq;
+  for (int d = 1; d < num_disks; ++d) {
+    const double ratio = mean_mass[static_cast<std::size_t>(d)] / coldest;
+    int best = 1;
+    for (int divisor = 1; divisor <= max_freq; ++divisor) {
+      if (max_freq % divisor != 0) continue;
+      // Ties go to the larger (hotter) divisor: divisor increases, so
+      // ">= fabs" keeps the later candidate.
+      if (std::fabs(divisor - ratio) <= std::fabs(best - ratio)) {
+        best = divisor;
+      }
+    }
+    assignment.frequencies[static_cast<std::size_t>(d)] = std::min(
+        best, assignment.frequencies[static_cast<std::size_t>(d) - 1]);
+  }
+  return assignment;
+}
+
+Result<DiskAssignment> ScheduleAssignmentFor(const ScheduleParams& params,
+                                             int num_records) {
+  if (!params.active()) {
+    return Status::InvalidArgument(
+        "flat scheduling has no disk assignment");
+  }
+  if (params.theta < 0.0) {
+    return Status::InvalidArgument(
+        "schedule theta is unresolved (< 0); core resolves it from the "
+        "workload before building programs");
+  }
+  const std::vector<double> popularity = ZipfRankPopularity(
+      num_records, params.theta, params.rank_offset, params.total_ranks);
+  if (popularity.empty()) {
+    return Status::InvalidArgument("schedule popularity profile is empty");
+  }
+  return SquareRootAssignment(popularity, params.num_disks);
+}
+
+DiskLayout BuildDiskLayout(const DiskAssignment& assignment) {
+  const int num_disks = assignment.num_disks();
+  const int max_freq = assignment.max_frequency();
+
+  // Chunk each disk into max_freq / f_d contiguous chunks over the
+  // popularity-order positions (balanced split; empty chunks are allowed
+  // for tiny disks), exactly as the classic algorithm.
+  struct Chunk {
+    int first;
+    int last;  // inclusive
+  };
+  std::vector<std::vector<Chunk>> chunks(static_cast<std::size_t>(num_disks));
+  for (int d = 0; d < num_disks; ++d) {
+    const int num_chunks =
+        max_freq / assignment.frequencies[static_cast<std::size_t>(d)];
+    const int begin = assignment.disk_begin[static_cast<std::size_t>(d)];
+    const int size =
+        assignment.disk_begin[static_cast<std::size_t>(d) + 1] - begin;
+    chunks[static_cast<std::size_t>(d)].reserve(
+        static_cast<std::size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c) {
+      const int first =
+          begin + static_cast<int>(static_cast<std::int64_t>(c) * size /
+                                   num_chunks);
+      const int last =
+          begin + static_cast<int>(static_cast<std::int64_t>(c + 1) * size /
+                                   num_chunks) -
+          1;
+      chunks[static_cast<std::size_t>(d)].push_back(Chunk{first, last});
+    }
+  }
+
+  // Major cycle: minor cycle i carries chunk (i mod chunks_d) of disk d.
+  DiskLayout layout;
+  layout.record_slots.resize(assignment.record_order.size());
+  layout.minor_begin.reserve(static_cast<std::size_t>(max_freq) + 1);
+  for (int minor = 0; minor < max_freq; ++minor) {
+    layout.minor_begin.push_back(static_cast<int>(layout.slot_record.size()));
+    for (int d = 0; d < num_disks; ++d) {
+      const std::vector<Chunk>& disk_chunks =
+          chunks[static_cast<std::size_t>(d)];
+      const Chunk& chunk =
+          disk_chunks[static_cast<std::size_t>(minor) % disk_chunks.size()];
+      for (int p = chunk.first; p <= chunk.last; ++p) {
+        const int record = assignment.record_order[static_cast<std::size_t>(p)];
+        layout.record_slots[static_cast<std::size_t>(record)].push_back(
+            static_cast<int>(layout.slot_record.size()));
+        layout.slot_record.push_back(record);
+      }
+    }
+  }
+  layout.minor_begin.push_back(static_cast<int>(layout.slot_record.size()));
+  return layout;
+}
+
+OnlineRetierer::OnlineRetierer(DiskAssignment initial)
+    : assignment_(std::move(initial)),
+      scores_(assignment_.record_order.size(), 0),
+      epoch_counts_(assignment_.record_order.size(), 0),
+      disk_of_(assignment_.DiskOfRecord()) {}
+
+void OnlineRetierer::Observe(int record) {
+  if (record < 0 || record >= assignment_.num_records()) return;
+  ++epoch_counts_[static_cast<std::size_t>(record)];
+  ++observed_;
+}
+
+int OnlineRetierer::EndEpoch() {
+  ++epochs_;
+  observed_ = 0;
+  for (std::size_t r = 0; r < scores_.size(); ++r) {
+    scores_[r] = scores_[r] / 2 + epoch_counts_[r];
+    epoch_counts_[r] = 0;
+  }
+  std::vector<int> order = IdentityOrder(assignment_.num_records());
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    const std::int64_t score_a = scores_[static_cast<std::size_t>(a)];
+    const std::int64_t score_b = scores_[static_cast<std::size_t>(b)];
+    if (score_a != score_b) return score_a > score_b;
+    const int disk_a = disk_of_[static_cast<std::size_t>(a)];
+    const int disk_b = disk_of_[static_cast<std::size_t>(b)];
+    if (disk_a != disk_b) return disk_a < disk_b;
+    return a < b;
+  });
+  assignment_.record_order = std::move(order);
+  int moves = 0;
+  for (int p = 0; p < assignment_.num_records(); ++p) {
+    const int record = assignment_.record_order[static_cast<std::size_t>(p)];
+    const int disk = assignment_.DiskOfPosition(p);
+    if (disk_of_[static_cast<std::size_t>(record)] != disk) {
+      disk_of_[static_cast<std::size_t>(record)] = disk;
+      ++moves;
+    }
+  }
+  total_moves_ += moves;
+  return moves;
+}
+
+}  // namespace airindex

@@ -74,7 +74,8 @@ Result<SimulationResult> ParallelExperiment::Run(const TestbedConfig& config) {
   }
   Result<BroadcastServer> server_result =
       BroadcastServer::Create(config.scheme, dataset, config.geometry,
-                              config.params, config.multichannel, cache);
+                              ResolvedSchemeParams(config),
+                              config.multichannel, cache);
   if (!server_result.ok()) return server_result.status();
   const BroadcastServer server = std::move(server_result).value();
 
@@ -211,7 +212,8 @@ Result<SimulationResult> ParallelExperiment::RunShardCell(
   }
   Result<BroadcastServer> server_result =
       BroadcastServer::Create(config.scheme, dataset, config.geometry,
-                              config.params, config.multichannel, cache);
+                              ResolvedSchemeParams(config),
+                              config.multichannel, cache);
   if (!server_result.ok()) return server_result.status();
   const BroadcastServer server = std::move(server_result).value();
 

@@ -104,6 +104,12 @@ Status ValidateFleetConfig(const TestbedConfig& config,
     return Status::InvalidArgument(
         "fleet mode does not support deadlines");
   }
+  // The fleet engine replays one immutable program against millions of
+  // phases; there is no per-client request stream to re-tier from.
+  if (config.params.schedule.scheduler == SchedulerKind::kOnline) {
+    return Status::InvalidArgument(
+        "fleet mode does not support online re-tiering");
+  }
   return Status::Ok();
 }
 
@@ -132,7 +138,8 @@ Result<FleetRunResult> FleetExperiment::Run(const TestbedConfig& config,
   }
   Result<BroadcastServer> server_result =
       BroadcastServer::Create(config.scheme, dataset, config.geometry,
-                              config.params, config.multichannel, cache);
+                              ResolvedSchemeParams(config),
+                              config.multichannel, cache);
   if (!server_result.ok()) return server_result.status();
   const BroadcastServer server = std::move(server_result).value();
 

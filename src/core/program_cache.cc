@@ -76,6 +76,15 @@ std::uint64_t ProgramParamsFingerprint(SchemeKind kind,
     h = HashInt(static_cast<std::uint64_t>(frequency), h);
   }
   h = HashInt(static_cast<std::uint64_t>(params.hybrid_m), h);
+  h = HashInt(static_cast<std::uint64_t>(
+                  static_cast<int>(params.schedule.scheduler)),
+              h);
+  h = HashInt(static_cast<std::uint64_t>(params.schedule.num_disks), h);
+  h = HashDouble(params.schedule.theta, h);
+  h = HashInt(static_cast<std::uint64_t>(params.schedule.retier_requests), h);
+  h = HashInt(static_cast<std::uint64_t>(params.schedule.rotation_slots), h);
+  h = HashInt(static_cast<std::uint64_t>(params.schedule.rank_offset), h);
+  h = HashInt(static_cast<std::uint64_t>(params.schedule.total_ranks), h);
   return h;
 }
 

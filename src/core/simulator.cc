@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "broadcast/schedule.h"
 #include "client/session_client.h"
 #include "core/accuracy_controller.h"
 #include "core/broadcast_server.h"
@@ -19,10 +20,86 @@
 #include "data/dataset.h"
 #include "des/random.h"
 #include "des/simulation.h"
+#include "schemes/scheduled.h"
 
 namespace airindex {
 
 namespace {
+
+/// Per-run scheduling state, bundled into one struct so the arrival
+/// closure spends a single inline-capture slot on it (the EventQueue
+/// fits_inline budget). For kFlat configs nothing activates and scheme()
+/// forwards the server's scheme, so those paths stay byte-identical with
+/// the committed baselines. For kOnline the runtime owns the live
+/// re-tiered program: every on-air request feeds the retierer, and a
+/// full epoch swaps a rebuilt program in for the *next* request — safe
+/// at any phase because the client walks are closed-form over the
+/// current channel, never spanning a swap.
+struct ScheduleRuntime {
+  const BroadcastScheme* base = nullptr;
+  const Dataset* dataset = nullptr;
+  SchemeKind kind = SchemeKind::kFlat;
+  BucketGeometry geometry;
+  SchemeParams params;
+  /// The square-root-rule plan — telemetry for any active scheduler and
+  /// the online loop's starting assignment.
+  std::optional<DiskAssignment> planned;
+  std::optional<OnlineRetierer> retierer;
+  std::unique_ptr<BroadcastScheme> live;
+  std::int64_t epochs = 0;
+  std::int64_t moves = 0;
+  std::int64_t rebuild_failures = 0;
+
+  /// Call once per run, after the server is built from the same resolved
+  /// params. A failed plan leaves the runtime passive, which cannot
+  /// happen for a validated config (the server build consumed the same
+  /// plan).
+  void Start(const BroadcastServer& server, const Dataset& dataset_in,
+             const TestbedConfig& config) {
+    base = &server.scheme();
+    params = ResolvedSchemeParams(config);
+    if (!params.schedule.active()) return;
+    Result<DiskAssignment> plan =
+        ScheduleAssignmentFor(params.schedule, dataset_in.size());
+    if (!plan.ok()) return;
+    planned = std::move(plan).value();
+    if (params.schedule.scheduler != SchedulerKind::kOnline) return;
+    dataset = &dataset_in;
+    kind = config.scheme;
+    geometry = config.geometry;
+    retierer.emplace(*planned);
+  }
+
+  const BroadcastScheme& scheme() const { return live ? *live : *base; }
+
+  bool observing() const { return retierer.has_value(); }
+
+  /// Feeds one on-air request to the retierer. Closing an epoch re-tiers
+  /// and rebuilds the live program; a rebuild failure keeps the previous
+  /// program and is counted rather than fatal (the boundary/frequency
+  /// template never changes, so failures need a logic bug to occur).
+  void Observe(std::string_view key) {
+    const int record = dataset->FindIndex(key);
+    if (record < 0) return;
+    retierer->Observe(record);
+    if (retierer->observed_this_epoch() < params.schedule.retier_requests) {
+      return;
+    }
+    moves += retierer->EndEpoch();
+    ++epochs;
+    Result<ScheduledBroadcast> rebuilt =
+        ScheduledBroadcast::BuildWithAssignment(
+            kind,
+            std::shared_ptr<const Dataset>(std::shared_ptr<const void>(),
+                                           dataset),
+            geometry, params, retierer->assignment());
+    if (!rebuilt.ok()) {
+      ++rebuild_failures;
+      return;
+    }
+    live = std::make_unique<ScheduledBroadcast>(std::move(rebuilt).value());
+  }
+};
 
 /// Snapshots one run's telemetry into a registry. Every run touches the
 /// same names in the same order, which keeps the merged entry order (and
@@ -30,7 +107,8 @@ namespace {
 MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
                                    const BroadcastServer& server,
                                    const ResultHandler& results,
-                                   const SessionClient* session) {
+                                   const SessionClient* session,
+                                   const ScheduleRuntime& schedule) {
   MetricsRegistry metrics;
   metrics.Increment("sim.events_processed",
                     static_cast<std::int64_t>(simulation.events_processed()));
@@ -53,6 +131,15 @@ MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
       metrics.Increment("client.tuning_bytes_ch" + std::to_string(c),
                         results.tuning_bytes_on_channel(c));
     }
+    // Conflict-aware placement counters, only for scheduled groups so
+    // flat-scheduler multichannel reports stay byte-identical.
+    if (schedule.planned.has_value()) {
+      const ConflictPlacement& conflict = multi->conflict_placement();
+      metrics.Increment("schedule.conflict_pairs", conflict.hot_pairs);
+      metrics.Increment("schedule.conflict_baseline",
+                        conflict.baseline_collisions);
+      metrics.Increment("schedule.conflict_collisions", conflict.collisions);
+    }
   }
   // Likewise the session block appears only when the client cache is
   // engaged, keeping stateless-client reports byte-identical.
@@ -67,6 +154,27 @@ MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
                       session->invalidations());
     metrics.Increment("client.cache_evictions", session->evictions());
     metrics.Increment("client.cache_warm_inserts", session->warm_inserts());
+  }
+  // The schedule block appears only for single-channel scheduled runs,
+  // keeping flat-scheduler reports byte-identical with the committed
+  // baselines. occurrences == data_slots is the exact per-cycle
+  // accounting identity bench_compare --strict-counters enforces; it
+  // holds across re-tiers because the boundary/frequency template is
+  // fixed.
+  if (schedule.planned.has_value() && server.multichannel() == nullptr) {
+    metrics.Increment("schedule.num_disks",
+                      static_cast<std::int64_t>(schedule.planned->num_disks()));
+    metrics.Increment(
+        "schedule.major_frequency",
+        static_cast<std::int64_t>(schedule.planned->max_frequency()));
+    metrics.Increment("schedule.data_slots",
+                      schedule.planned->SlotsPerMajorCycle());
+    metrics.Increment("schedule.occurrences",
+                      static_cast<std::int64_t>(
+                          schedule.scheme().channel().num_data_buckets()));
+    metrics.Increment("schedule.retier_epochs", schedule.epochs);
+    metrics.Increment("schedule.retier_moves", schedule.moves);
+    metrics.Increment("schedule.rebuild_failures", schedule.rebuild_failures);
   }
   return metrics;
 }
@@ -213,7 +321,54 @@ Status ValidateTestbedConfig(const TestbedConfig& config) {
   if (config.client.warmup_queries < 0) {
     return Status::InvalidArgument("warmup queries must be non-negative");
   }
+  if (const ScheduleParams& schedule = config.params.schedule;
+      schedule.active()) {
+    if (schedule.num_disks < 1 || schedule.num_disks > 64) {
+      return Status::InvalidArgument("schedule num_disks must be in [1, 64]");
+    }
+    if (schedule.retier_requests < 1) {
+      return Status::InvalidArgument("retier_requests must be positive");
+    }
+    if (schedule.rotation_slots < 0) {
+      return Status::InvalidArgument("rotation_slots must be non-negative");
+    }
+    if (config.multichannel.num_channels > 1) {
+      if (config.multichannel.allocation !=
+          ChannelAllocation::kDataPartitioned) {
+        return Status::InvalidArgument(
+            "skew-aware scheduling supports only the data-partitioned "
+            "multichannel allocation");
+      }
+      if (schedule.rotation_slots != 0) {
+        return Status::InvalidArgument(
+            "rotation_slots is owned by the conflict-aware placer on "
+            "multichannel runs");
+      }
+    }
+    // Online re-tiering swaps the live program under exactly one client
+    // walk path; the multichannel coordinator and the session cache both
+    // hold references into the planned program, so they are gated off
+    // rather than silently served a stale schedule.
+    if (schedule.scheduler == SchedulerKind::kOnline) {
+      if (config.multichannel.num_channels != 1) {
+        return Status::InvalidArgument(
+            "online re-tiering requires a single channel");
+      }
+      if (config.client.cache_capacity > 0) {
+        return Status::InvalidArgument(
+            "online re-tiering is incompatible with the client cache");
+      }
+    }
+  }
   return Status::Ok();
+}
+
+SchemeParams ResolvedSchemeParams(const TestbedConfig& config) {
+  SchemeParams params = config.params;
+  if (params.schedule.active() && params.schedule.theta < 0.0) {
+    params.schedule.theta = config.zipf_theta;
+  }
+  return params;
 }
 
 void FillChannelShape(const BroadcastServer& server,
@@ -271,9 +426,13 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
 
   Result<BroadcastServer> server_result =
       BroadcastServer::Create(config.scheme, dataset, config.geometry,
-                              config.params, config.multichannel);
+                              ResolvedSchemeParams(config),
+                              config.multichannel);
   if (!server_result.ok()) return server_result.status();
   const BroadcastServer server = std::move(server_result).value();
+
+  ScheduleRuntime schedule;
+  schedule.Start(server, *dataset, config);
 
   Rng master(config.seed);
   RequestGenerator generator(
@@ -319,11 +478,13 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
               ? session->Access(query.key, simulation.now())
               : ApplyDeadline(
                     unreliable
-                        ? AccessWithErrors(server.scheme(), query.key,
+                        ? AccessWithErrors(schedule.scheme(), query.key,
                                            simulation.now(),
                                            config.error_model, &error_rng)
-                        : server.Listen(query.key, simulation.now()),
+                        : schedule.scheme().Access(query.key,
+                                                   simulation.now()),
                     config.deadline);
+      if (schedule.observing() && query.on_air) schedule.Observe(query.key);
       auto on_completion = [&, access, on_air = query.on_air]() {
         results.Add(access, on_air);
         if (results.round_size() >= config.requests_per_round) {
@@ -365,7 +526,8 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   result.false_drops = results.false_drops();
   result.anomalies = results.anomalies();
   result.outcome_mismatches = results.outcome_mismatches();
-  result.metrics = SnapshotRunMetrics(simulation, server, results, session);
+  result.metrics =
+      SnapshotRunMetrics(simulation, server, results, session, schedule);
   FillChannelShape(server, &result);
   return result;
 }
@@ -389,6 +551,13 @@ ReplicationResult RunReplication(const BroadcastServer& server,
   Rng error_rng = master.Split();
   const bool unreliable = config.error_model.bucket_error_rate > 0.0;
   ResultHandler results;
+
+  // Per-replication scheduling state: each replication drives its own
+  // online re-tiering loop from its own request stream, so the result
+  // stays a pure function of (server, dataset, config, replication_seed)
+  // and --jobs bit-identity holds.
+  ScheduleRuntime schedule;
+  schedule.Start(server, dataset, config);
 
   // Per-replication client state: the session cache is rebuilt and
   // re-warmed from this replication's own stream, so the result stays a
@@ -418,11 +587,13 @@ ReplicationResult RunReplication(const BroadcastServer& server,
               ? session->Access(query.key, simulation.now())
               : ApplyDeadline(
                     unreliable
-                        ? AccessWithErrors(server.scheme(), query.key,
+                        ? AccessWithErrors(schedule.scheme(), query.key,
                                            simulation.now(),
                                            config.error_model, &error_rng)
-                        : server.Listen(query.key, simulation.now()),
+                        : schedule.scheme().Access(query.key,
+                                                   simulation.now()),
                     config.deadline);
+      if (schedule.observing() && query.on_air) schedule.Observe(query.key);
       auto on_completion = [&, access, on_air = query.on_air]() {
         results.Add(access, on_air);
       };
@@ -453,7 +624,7 @@ ReplicationResult RunReplication(const BroadcastServer& server,
   replication.anomalies = results.anomalies();
   replication.outcome_mismatches = results.outcome_mismatches();
   replication.metrics =
-      SnapshotRunMetrics(simulation, server, results, session);
+      SnapshotRunMetrics(simulation, server, results, session, schedule);
   const ResultHandler::RoundStats round = results.CloseRound();
   replication.round_access_mean = round.access_mean;
   replication.round_tuning_mean = round.tuning_mean;

@@ -81,6 +81,14 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config);
 /// reject bad configs identically.
 Status ValidateTestbedConfig(const TestbedConfig& config);
 
+/// The scheme params a run actually builds programs with: a copy of
+/// config.params with an unresolved schedule theta (< 0, "inherit the
+/// workload skew") replaced by config.zipf_theta. Every server
+/// construction site — RunTestbed, the replication engine, the fleet
+/// runner — must go through this so planned and online schedules see
+/// exactly the skew the request generator samples.
+SchemeParams ResolvedSchemeParams(const TestbedConfig& config);
+
 /// Resolves the dataset a run broadcasts: `config.dataset` when supplied,
 /// otherwise the synthetic dataset generated from the config's record
 /// shape and master seed. Both RunTestbed and the replication engine use

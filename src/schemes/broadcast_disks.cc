@@ -1,9 +1,9 @@
 #include "schemes/broadcast_disks.h"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
 #include <utility>
+
+#include "broadcast/schedule.h"
 
 namespace airindex {
 
@@ -17,135 +17,41 @@ BroadcastDisks::BroadcastDisks(std::shared_ptr<const Dataset> dataset,
       occurrences_(std::move(occurrences)),
       disk_of_(std::move(disk_of)) {}
 
-namespace {
-
-/// Validates `params` against `num_records` and returns the per-disk
-/// record boundaries (Build's cumulative-fraction rule). Shared by Build
-/// and Restore so a restored scheme gets the identical record→disk map.
-Result<std::vector<int>> ComputeDiskBegin(const BroadcastDisksParams& params,
-                                          int num_records) {
-  const std::size_t num_disks = params.disk_fractions.size();
-  if (num_disks == 0 || params.disk_frequencies.size() != num_disks) {
-    return Status::InvalidArgument(
-        "disk_fractions and disk_frequencies must be non-empty and match");
-  }
-  double fraction_sum = 0.0;
-  for (const double f : params.disk_fractions) {
-    if (f <= 0.0) {
-      return Status::InvalidArgument("disk fractions must be positive");
-    }
-    fraction_sum += f;
-  }
-  if (std::fabs(fraction_sum - 1.0) > 1e-6) {
-    return Status::InvalidArgument("disk fractions must sum to 1");
-  }
-  const int max_freq = params.disk_frequencies.front();
-  for (std::size_t d = 0; d < num_disks; ++d) {
-    const int freq = params.disk_frequencies[d];
-    if (freq <= 0 || freq > max_freq || max_freq % freq != 0) {
-      return Status::InvalidArgument(
-          "disk frequencies must be positive, non-increasing, and divide "
-          "the hottest disk's frequency");
-    }
-    if (d > 0 && freq > params.disk_frequencies[d - 1]) {
-      return Status::InvalidArgument("disk frequencies must be non-increasing");
-    }
-  }
-  if (num_records < static_cast<int>(num_disks)) {
-    return Status::InvalidArgument("need at least one record per disk");
-  }
-
-  // Record ranges per disk, by cumulative fraction (at least one each).
-  std::vector<int> disk_begin(num_disks + 1, 0);
-  double cumulative = 0.0;
-  for (std::size_t d = 0; d < num_disks; ++d) {
-    cumulative += params.disk_fractions[d];
-    disk_begin[d + 1] = std::clamp(
-        static_cast<int>(std::lround(cumulative * num_records)),
-        disk_begin[d] + 1, num_records - static_cast<int>(num_disks - d - 1));
-  }
-  disk_begin[num_disks] = num_records;
-  return disk_begin;
-}
-
-std::vector<int> DiskOfFromBegin(const std::vector<int>& disk_begin,
-                                 int num_records) {
-  const std::size_t num_disks = disk_begin.size() - 1;
-  std::vector<int> disk_of(static_cast<std::size_t>(num_records), 0);
-  for (std::size_t d = 0; d < num_disks; ++d) {
-    for (int r = disk_begin[d]; r < disk_begin[d + 1]; ++r) {
-      disk_of[static_cast<std::size_t>(r)] = static_cast<int>(d);
-    }
-  }
-  return disk_of;
-}
-
-}  // namespace
-
 Result<BroadcastDisks> BroadcastDisks::Build(
     std::shared_ptr<const Dataset> dataset, const BucketGeometry& geometry,
     BroadcastDisksParams params) {
   if (dataset == nullptr || dataset->size() == 0) {
     return Status::InvalidArgument("broadcast disks need a non-empty dataset");
   }
-  const std::size_t num_disks = params.disk_fractions.size();
   const int num_records = dataset->size();
-  Result<std::vector<int>> begin = ComputeDiskBegin(params, num_records);
-  if (!begin.ok()) return begin.status();
-  const std::vector<int> disk_begin = std::move(begin).value();
-  std::vector<int> disk_of = DiskOfFromBegin(disk_begin, num_records);
-  const int max_freq = params.disk_frequencies.front();
+  // The fraction-specified assignment and the chunked slot order live in
+  // broadcast/schedule.h now (the generalized scheduler reuses them);
+  // both reproduce this scheme's pre-scheduler layout byte for byte.
+  Result<DiskAssignment> assignment = AssignmentFromFractions(
+      params.disk_fractions, params.disk_frequencies, num_records);
+  if (!assignment.ok()) return assignment.status();
+  const DiskLayout layout = BuildDiskLayout(assignment.value());
 
-  // Chunk each disk into max_freq / freq_d contiguous chunks.
-  struct Chunk {
-    int first;
-    int last;  // inclusive
-  };
-  std::vector<std::vector<Chunk>> chunks(num_disks);
-  for (std::size_t d = 0; d < num_disks; ++d) {
-    const int num_chunks = max_freq / params.disk_frequencies[d];
-    const int size = disk_begin[d + 1] - disk_begin[d];
-    chunks[d].reserve(static_cast<std::size_t>(num_chunks));
-    for (int c = 0; c < num_chunks; ++c) {
-      // Balanced split; empty chunks are allowed for tiny disks.
-      const int first =
-          disk_begin[d] + static_cast<int>(
-                              static_cast<std::int64_t>(c) * size / num_chunks);
-      const int last =
-          disk_begin[d] +
-          static_cast<int>(static_cast<std::int64_t>(c + 1) * size /
-                           num_chunks) -
-          1;
-      chunks[d].push_back(Chunk{first, last});
-    }
-  }
-
-  // Major cycle: minor cycle i carries chunk (i mod chunks_d) of disk d.
   const Bytes bucket_bytes = geometry.data_bucket_bytes();
   std::vector<Bucket> buckets;
+  buckets.reserve(layout.slot_record.size());
   std::vector<std::vector<Bytes>> occurrences(
       static_cast<std::size_t>(num_records));
-  for (int minor = 0; minor < max_freq; ++minor) {
-    for (std::size_t d = 0; d < num_disks; ++d) {
-      const Chunk& chunk =
-          chunks[d][static_cast<std::size_t>(minor) % chunks[d].size()];
-      for (int r = chunk.first; r <= chunk.last; ++r) {
-        occurrences[static_cast<std::size_t>(r)].push_back(
-            static_cast<Bytes>(buckets.size()) * bucket_bytes);
-        Bucket bucket;
-        bucket.kind = BucketKind::kData;
-        bucket.size = bucket_bytes;
-        bucket.record_id = r;
-        buckets.push_back(std::move(bucket));
-      }
-    }
+  for (const int record : layout.slot_record) {
+    occurrences[static_cast<std::size_t>(record)].push_back(
+        static_cast<Bytes>(buckets.size()) * bucket_bytes);
+    Bucket bucket;
+    bucket.kind = BucketKind::kData;
+    bucket.size = bucket_bytes;
+    bucket.record_id = record;
+    buckets.push_back(std::move(bucket));
   }
 
   Result<Channel> channel = Channel::Create(std::move(buckets));
   if (!channel.ok()) return channel.status();
   return BroadcastDisks(std::move(dataset), std::move(params),
                         std::move(channel).value(), std::move(occurrences),
-                        std::move(disk_of));
+                        assignment.value().DiskOfRecord());
 }
 
 int BroadcastDisks::OccurrencesOf(int record) const {
@@ -237,9 +143,9 @@ Result<BroadcastDisks> BroadcastDisks::Restore(
         "broadcast disks restore needs a non-empty dataset");
   }
   const int num_records = dataset->size();
-  Result<std::vector<int>> begin = ComputeDiskBegin(params, num_records);
-  if (!begin.ok()) return begin.status();
-  std::vector<int> disk_of = DiskOfFromBegin(begin.value(), num_records);
+  Result<DiskAssignment> assignment = AssignmentFromFractions(
+      params.disk_fractions, params.disk_frequencies, num_records);
+  if (!assignment.ok()) return assignment.status();
 
   // Build emits buckets (and occurrence phases) in phase order, so one
   // forward scan reproduces the per-record occurrence table exactly.
@@ -262,7 +168,7 @@ Result<BroadcastDisks> BroadcastDisks::Restore(
   }
   return BroadcastDisks(std::move(dataset), std::move(params),
                         std::move(channel), std::move(occurrences),
-                        std::move(disk_of));
+                        assignment.value().DiskOfRecord());
 }
 
 }  // namespace airindex

@@ -1,10 +1,13 @@
 #include "schemes/multichannel.h"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 #include <utility>
 
 #include "des/random.h"
 #include "schemes/entry_search.h"
+#include "schemes/scheduled.h"
 
 namespace airindex {
 
@@ -22,6 +25,69 @@ std::pair<int, int> PartitionRange(int num_records, int partitions, int p) {
   const auto hi = static_cast<int>(
       (static_cast<std::int64_t>(p) + 1) * num_records / partitions);
   return {lo, hi};
+}
+
+// --- conflict-aware placement ------------------------------------------
+//
+// Channels tick the same byte clock, so bucket index x of a channel with
+// M_a buckets and bucket index y of one with M_b buckets share a
+// slot-time at some instant iff x ≡ y (mod gcd(M_a, M_b)) — the CRT
+// residue test. The placer rotates each partition's whole bucket
+// sequence (ScheduleParams::rotation_slots) so the hottest records of
+// different channels never collide when a collision-free rotation
+// exists.
+
+/// Hot-record occurrence slots of one already-placed channel.
+struct PlacedHotSlots {
+  int num_buckets = 0;
+  std::vector<int> slots;
+};
+
+/// Cross-channel hot-pair collisions of candidate rotation `rotation`
+/// for a channel of `num_buckets` buckets whose canonical (unrotated)
+/// hot occurrences are `hot`.
+std::int64_t RotationCollisions(const std::vector<int>& hot, int num_buckets,
+                                int rotation,
+                                const std::vector<PlacedHotSlots>& placed) {
+  std::int64_t collisions = 0;
+  for (const PlacedHotSlots& other : placed) {
+    const int g = std::gcd(num_buckets, other.num_buckets);
+    for (const int x : hot) {
+      const int residue = ((x - rotation) % g + g) % g;
+      for (const int y : other.slots) {
+        if (residue == y % g) ++collisions;
+      }
+    }
+  }
+  return collisions;
+}
+
+/// Smallest rotation minimizing hot-pair collisions. Only rotation
+/// residues modulo lcm over placed channels of gcd(M, M_other) are
+/// distinguishable, so the scan stops there (capped for safety; the cap
+/// is never reached for balanced partitions, where all cycles are within
+/// one bucket of each other).
+int BestRotation(const std::vector<int>& hot, int num_buckets,
+                 const std::vector<PlacedHotSlots>& placed) {
+  std::int64_t distinct = 1;
+  for (const PlacedHotSlots& other : placed) {
+    const std::int64_t g = std::gcd(num_buckets, other.num_buckets);
+    distinct = std::min<std::int64_t>(distinct / std::gcd(distinct, g) * g,
+                                      num_buckets);
+  }
+  distinct = std::min<std::int64_t>(distinct, 4096);
+  int best_rotation = 0;
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (int rotation = 0; rotation < distinct; ++rotation) {
+    const std::int64_t collisions =
+        RotationCollisions(hot, num_buckets, rotation, placed);
+    if (collisions < best) {
+      best = collisions;
+      best_rotation = rotation;
+      if (best == 0) break;
+    }
+  }
+  return best_rotation;
 }
 
 }  // namespace
@@ -70,6 +136,21 @@ Result<std::unique_ptr<MultiChannelProgram>> MultiChannelProgram::Build(
     return Status::InvalidArgument("multichannel program needs a dataset");
   }
   const int num_records = dataset->size();
+  if (params.schedule.active()) {
+    // The index-centric allocations lay out one global air index whose
+    // leaf pointers assume the flat per-partition slot order; a skewed
+    // slot schedule under them is a different design, so they are gated
+    // rather than silently served dangling pointers.
+    if (multichannel.allocation != ChannelAllocation::kDataPartitioned) {
+      return Status::InvalidArgument(
+          "skew-aware scheduling supports only the data-partitioned "
+          "multichannel allocation");
+    }
+    if (params.schedule.scheduler == SchedulerKind::kOnline) {
+      return Status::InvalidArgument(
+          "online re-tiering requires a single channel");
+    }
+  }
   const int partitions =
       multichannel.allocation == ChannelAllocation::kIndexOnOne
           ? num_channels - 1
@@ -97,6 +178,7 @@ Result<std::unique_ptr<MultiChannelProgram>> MultiChannelProgram::Build(
   if (multichannel.allocation == ChannelAllocation::kDataPartitioned) {
     program->name_ = std::string("multichannel data-partitioned over ") +
                      SchemeKindToString(kind);
+    std::vector<PlacedHotSlots> placed;
     for (int p = 0; p < partitions; ++p) {
       const auto [lo, hi] = PartitionRange(num_records, partitions, p);
       std::vector<Record> chunk(dataset->records().begin() + lo,
@@ -104,9 +186,65 @@ Result<std::unique_ptr<MultiChannelProgram>> MultiChannelProgram::Build(
       Result<Dataset> sub = Dataset::FromRecords(std::move(chunk));
       if (!sub.ok()) return sub.status();
       auto sub_dataset = std::make_shared<const Dataset>(std::move(sub).value());
+      // A scheduled partition plans its slice under the *conditional*
+      // global popularity (rank_offset/total_ranks), not a fresh local
+      // Zipf — record lo really is the lo-th hottest of the whole
+      // population.
+      SchemeParams partition_params = params;
+      if (params.schedule.active()) {
+        partition_params.schedule.rank_offset = lo;
+        partition_params.schedule.total_ranks = num_records;
+        partition_params.schedule.rotation_slots = 0;
+      }
       Result<std::unique_ptr<BroadcastScheme>> scheme =
-          BuildScheme(kind, std::move(sub_dataset), geometry, params);
+          BuildScheme(kind, sub_dataset, geometry, partition_params);
       if (!scheme.ok()) return scheme.status();
+      if (params.schedule.active()) {
+        const auto* scheduled =
+            dynamic_cast<const ScheduledBroadcast*>(scheme.value().get());
+        if (scheduled == nullptr) {
+          return Status::InvalidArgument(
+              "scheduled partition did not produce a scheduled program");
+        }
+        // Conflict-aware placement over this partition's hottest records
+        // (its first locals — the slice is in rank order): pick the
+        // rotation whose hot occurrences collide least with every
+        // already-placed channel, then rebuild on it. The search and the
+        // rebuild are deterministic, so --jobs bit-identity holds.
+        const int hot_records = std::min(2, hi - lo);
+        std::vector<int> hot;
+        for (int r = 0; r < hot_records; ++r) {
+          const std::vector<int>& buckets = scheduled->record_buckets()[
+              static_cast<std::size_t>(r)];
+          hot.insert(hot.end(), buckets.begin(), buckets.end());
+        }
+        const int channel_buckets =
+            static_cast<int>(scheduled->channel().num_buckets());
+        for (const PlacedHotSlots& other : placed) {
+          program->conflict_.hot_pairs +=
+              static_cast<std::int64_t>(hot.size()) *
+              static_cast<std::int64_t>(other.slots.size());
+        }
+        program->conflict_.baseline_collisions +=
+            RotationCollisions(hot, channel_buckets, 0, placed);
+        const int rotation = BestRotation(hot, channel_buckets, placed);
+        program->conflict_.collisions +=
+            RotationCollisions(hot, channel_buckets, rotation, placed);
+        program->conflict_.rotations.push_back(rotation);
+        if (rotation != 0) {
+          partition_params.schedule.rotation_slots = rotation;
+          scheme = BuildScheme(kind, sub_dataset, geometry, partition_params);
+          if (!scheme.ok()) return scheme.status();
+        }
+        PlacedHotSlots mine;
+        mine.num_buckets = channel_buckets;
+        mine.slots.reserve(hot.size());
+        for (const int x : hot) {
+          mine.slots.push_back(((x - rotation) % channel_buckets +
+                                channel_buckets) % channel_buckets);
+        }
+        placed.push_back(std::move(mine));
+      }
       channels.push_back(scheme.value()->channel());
       program->partitions_.push_back(std::move(scheme).value());
     }

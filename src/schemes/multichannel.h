@@ -53,6 +53,19 @@ struct MultiChannelParams {
   ChannelAllocation allocation = ChannelAllocation::kDataPartitioned;
 };
 
+/// Outcome of the conflict-aware placer (kDataPartitioned with an active
+/// scheduler): how many cross-channel hot-occurrence pairs were checked
+/// and how many shared a slot-time before and after the per-channel
+/// rotations. Co-requested hot records never collide when collisions is
+/// 0 — the common case for balanced partitions.
+struct ConflictPlacement {
+  std::int64_t hot_pairs = 0;
+  std::int64_t baseline_collisions = 0;
+  std::int64_t collisions = 0;
+  /// Chosen rotation (ScheduleParams::rotation_slots) per partition.
+  std::vector<int> rotations;
+};
+
 /// A broadcast program spread over a ChannelGroup.
 ///
 /// Implements the BroadcastScheme interface so the simulator, the error
@@ -102,6 +115,10 @@ class MultiChannelProgram : public BroadcastScheme {
   /// start on the index channel 0.
   int StartChannel(Bytes tune_in) const;
 
+  /// Conflict-aware placement outcome; all zeros/empty unless the group
+  /// was built with an active scheduler.
+  const ConflictPlacement& conflict_placement() const { return conflict_; }
+
  private:
   MultiChannelProgram() = default;
 
@@ -124,6 +141,7 @@ class MultiChannelProgram : public BroadcastScheme {
   // kDataPartitioned: one base-scheme program per partition, in channel
   // order. Each sub-scheme keeps its own sub-dataset alive.
   std::vector<std::unique_ptr<BroadcastScheme>> partitions_;
+  ConflictPlacement conflict_;
 
   // kIndexOnOne / kReplicatedIndex: the global tree + parent dataset
   // (pointer entries view its key storage). Optional because BTree, like

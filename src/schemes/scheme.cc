@@ -10,6 +10,7 @@
 #include "schemes/integrated_signature.h"
 #include "schemes/multilevel_signature.h"
 #include "schemes/one_m.h"
+#include "schemes/scheduled.h"
 
 namespace airindex {
 
@@ -89,6 +90,23 @@ Result<std::unique_ptr<BroadcastScheme>> BuildScheme(
   signature_params.bits_per_attribute = params.signature_bits_per_attribute;
   Result<std::unique_ptr<BroadcastScheme>> built =
       Status::InvalidArgument("unknown scheme kind");
+  if (params.schedule.active()) {
+    // An active scheduler reroutes every kind through the skew-aware
+    // scheduled program, which reuses the kind's index family over the
+    // square-root-rule slot schedule.
+    built =
+        Wrap(ScheduledBroadcast::Build(kind, std::move(dataset), geometry,
+                                       params));
+    if (!built.ok()) return built;
+    Result<ProgramArena> arena = FlattenSchemeProgram(
+        kind, *built.value(), /*dataset_fingerprint=*/0,
+        /*params_fingerprint=*/0);
+    if (arena.ok()) {
+      built.value()->AttachArena(
+          std::make_shared<const ProgramArena>(std::move(arena).value()));
+    }
+    return built;
+  }
   switch (kind) {
     case SchemeKind::kFlat:
       built = Wrap(FlatBroadcast::Build(std::move(dataset), geometry));
@@ -154,6 +172,20 @@ Result<ProgramArena> FlattenSchemeProgram(SchemeKind kind,
   if (const auto* wrapped = dynamic_cast<const ArenaBackedScheme*>(&scheme)) {
     return FlattenSchemeProgram(kind, wrapped->inner(), dataset_fingerprint,
                                 params_fingerprint);
+  }
+  // A scheduled program flattens its resolved assignment instead of the
+  // base kind's scalars; kAuxTag keeps the two aux layouts unmistakable.
+  if (const auto* scheduled = dynamic_cast<const ScheduledBroadcast*>(&scheme)) {
+    const std::vector<int>& order = scheduled->assignment().record_order;
+    for (std::size_t p = 0; p < order.size(); ++p) {
+      if (order[p] != static_cast<int>(p)) {
+        return Status::InvalidArgument(
+            "flatten: online-evolved scheduled programs are not cacheable");
+      }
+    }
+    return ProgramArena::Flatten({&scheme.channel()}, /*switch_cost_bytes=*/0,
+                                 static_cast<int>(kind), dataset_fingerprint,
+                                 params_fingerprint, scheduled->FlattenAux());
   }
   // Aux layout per kind (see RestoreSchemeFromArena, which consumes it):
   // the scheme's *resolved* scalars — values Build may have derived from
@@ -255,6 +287,15 @@ Result<std::unique_ptr<BroadcastScheme>> RestoreSchemeFromArena(
 
   Result<std::unique_ptr<BroadcastScheme>> inner =
       Status::InvalidArgument("unknown scheme kind");
+  if (params.schedule.active()) {
+    inner = Wrap(ScheduledBroadcast::Restore(kind, dataset, geometry, params,
+                                             std::move(channel), aux));
+    if (!inner.ok()) return inner.status();
+    inner.value()->AttachArena(arena);
+    return std::unique_ptr<BroadcastScheme>(
+        std::make_unique<ArenaBackedScheme>(std::move(arena),
+                                            std::move(inner).value()));
+  }
   switch (kind) {
     case SchemeKind::kFlat: {
       Status s = check_aux(0);

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "broadcast/arena.h"
 #include "broadcast/geometry.h"
+#include "broadcast/schedule.h"
 #include "data/dataset.h"
 #include "schemes/access.h"
 #include "schemes/broadcast_disks.h"
@@ -48,6 +49,11 @@ struct SchemeParams {
   BroadcastDisksParams broadcast_disks;
   /// Hybrid index+signature: tree replication count (0 = sqrt rule).
   int hybrid_m = 0;
+  /// Slot scheduler (broadcast/schedule.h). kFlat — the default — keeps
+  /// every scheme's committed layout untouched; kSquareRoot/kOnline route
+  /// the build through the skew-aware scheduled program
+  /// (schemes/scheduled.h) with this scheme kind's index family.
+  ScheduleParams schedule;
 };
 
 /// Builds a ready-to-query broadcast program for `kind` over `dataset`.

@@ -345,6 +345,53 @@ TEST(BenchCompareTest, FleetAccountingGatedUnderStrict) {
   EXPECT_FALSE(CompareBenchReports(negative, negative, strict).passed());
 }
 
+TEST(BenchCompareTest, ScheduleAccountingGatedUnderStrict) {
+  CompareOptions strict;
+  strict.strict_counters = true;
+
+  BenchReport base = BaseReport();
+  base.counters.Increment("schedule.num_disks", 8);
+  base.counters.Increment("schedule.major_frequency", 12);
+  base.counters.Increment("schedule.data_slots", 1184);
+  base.counters.Increment("schedule.occurrences", 1184);
+  base.counters.Increment("schedule.retier_epochs", 16);
+  base.counters.Increment("schedule.retier_moves", 4127);
+  base.counters.Increment("schedule.rebuild_failures", 0);
+  const CompareResult ok = CompareBenchReports(base, base, strict);
+  EXPECT_TRUE(ok.passed()) << (ok.failures.empty() ? "" : ok.failures[0]);
+
+  // Exact per-cycle accounting: every data slot is a record occurrence.
+  BenchReport unbalanced = base;
+  unbalanced.counters.Increment("schedule.occurrences", 1);
+  EXPECT_FALSE(
+      CompareBenchReports(unbalanced, unbalanced, strict).passed());
+  // ...gated only under --strict-counters.
+  EXPECT_TRUE(
+      CompareBenchReports(unbalanced, unbalanced, CompareOptions{}).passed());
+
+  // Re-tiering moves can only exist once an epoch has closed.
+  BenchReport phantom_moves = BaseReport();
+  phantom_moves.counters.Increment("schedule.data_slots", 1184);
+  phantom_moves.counters.Increment("schedule.occurrences", 1184);
+  phantom_moves.counters.Increment("schedule.retier_epochs", 0);
+  phantom_moves.counters.Increment("schedule.retier_moves", 3);
+  EXPECT_FALSE(
+      CompareBenchReports(phantom_moves, phantom_moves, strict).passed());
+
+  // The rotation search starts from the unrotated layout, so it can
+  // never collide more than that baseline.
+  BenchReport worse = BaseReport();
+  worse.counters.Increment("schedule.conflict_pairs", 36);
+  worse.counters.Increment("schedule.conflict_baseline", 12);
+  worse.counters.Increment("schedule.conflict_collisions", 14);
+  EXPECT_FALSE(CompareBenchReports(worse, worse, strict).passed());
+
+  // Negative schedule counters are corrupt reports.
+  BenchReport negative = base;
+  negative.counters.Increment("schedule.retier_moves", -9999);
+  EXPECT_FALSE(CompareBenchReports(negative, negative, strict).passed());
+}
+
 TEST(BenchCompareTest, ShardMetadataIgnoredByGate) {
   // A partial report carries a `shard` root object and the sharding
   // timing keys (shard_index/shard_count/cell_wall_seconds). The gate

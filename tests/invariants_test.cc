@@ -1,5 +1,7 @@
 // Randomized invariant harness: every registered scheme crossed with
-// randomized dataset / geometry / multichannel configurations. Each case
+// randomized dataset / geometry / multichannel / scheduler
+// configurations (flat majority, square-root broadcast disks minority;
+// the jobs property below also draws the online re-tiering loop). Each case
 // draws its parameters from a per-case RNG stream seeded by
 // ReplicationSeed(kHarnessSeed, case_id), so a failure log shows the
 // exact (harness seed, case id) pair needed to replay it.
@@ -37,6 +39,7 @@
 
 #include <gtest/gtest.h>
 
+#include "broadcast/schedule.h"
 #include "broadcast/snapshot.h"
 #include "core/experiment.h"
 #include "core/json_report.h"
@@ -70,6 +73,7 @@ struct RandomCase {
   int num_records = 0;
   BucketGeometry geometry;
   MultiChannelParams multichannel;
+  SchemeParams params;
 };
 
 RandomCase DrawCase(Rng* rng) {
@@ -96,6 +100,31 @@ RandomCase DrawCase(Rng* rng) {
   constexpr Bytes kSwitchCosts[] = {0, 50, 250};
   c.multichannel.switch_cost_bytes =
       kSwitchCosts[rng->NextBounded(std::size(kSwitchCosts))];
+  // Skew-aware scheduling joins the walk mix: flat stays the majority so
+  // the paper's committed layouts keep their coverage, and a scheduled
+  // draw picks its own disk count and planning skew.
+  constexpr SchedulerKind kSchedulers[] = {
+      SchedulerKind::kFlat,   SchedulerKind::kFlat,
+      SchedulerKind::kFlat,   SchedulerKind::kSquareRoot,
+      SchedulerKind::kSquareRoot,
+  };
+  c.params.schedule.scheduler =
+      kSchedulers[rng->NextBounded(std::size(kSchedulers))];
+  if (c.params.schedule.active()) {
+    constexpr int kDiskChoices[] = {2, 3, 4, 8};
+    constexpr double kThetaChoices[] = {0.6, 0.95, 1.2};
+    // A 4-channel split leaves ~n/4 records per partition; every disk
+    // needs at least one record, so cap the draw at that floor.
+    const int draw = kDiskChoices[rng->NextBounded(std::size(kDiskChoices))];
+    const int cap = c.num_records / c.multichannel.num_channels;
+    c.params.schedule.num_disks = draw < cap ? draw : cap;
+    c.params.schedule.theta =
+        kThetaChoices[rng->NextBounded(std::size(kThetaChoices))];
+    // The scheduler composes only with the data-partitioned allocation.
+    if (c.multichannel.num_channels > 1) {
+      c.multichannel.allocation = ChannelAllocation::kDataPartitioned;
+    }
+  }
   return c;
 }
 
@@ -189,7 +218,7 @@ std::unique_ptr<BroadcastScheme> RoundTripThroughArena(
   auto shared = std::make_shared<const ProgramArena>(std::move(loaded).value());
   auto restored =
       RestoreSchemeFromArena(shared, std::move(dataset), c.geometry,
-                             SchemeParams{});
+                             c.params);
   if (!restored.ok()) {
     ADD_FAILURE() << "restore failed: " << restored.status().ToString();
     return nullptr;
@@ -216,19 +245,22 @@ TEST(InvariantsTest, RandomizedWalks) {
                  std::to_string(c.multichannel.num_channels) + ", alloc=" +
                  ChannelAllocationToString(c.multichannel.allocation) +
                  ", switch=" +
-                 std::to_string(c.multichannel.switch_cost_bytes));
+                 std::to_string(c.multichannel.switch_cost_bytes) +
+                 ", scheduler=" +
+                 SchedulerKindToString(c.params.schedule.scheduler) +
+                 ", disks=" + std::to_string(c.params.schedule.num_disks));
 
     const auto dataset = MakeDataset(c);
     std::unique_ptr<BroadcastScheme> program;
     Bytes horizon = 0;
     if (c.multichannel.num_channels > 1) {
       auto built = MultiChannelProgram::Build(c.scheme, dataset, c.geometry,
-                                              SchemeParams{}, c.multichannel);
+                                              c.params, c.multichannel);
       ASSERT_TRUE(built.ok()) << built.status().ToString();
       horizon = 2 * built.value()->group().max_cycle_bytes();
       program = std::move(built).value();
     } else {
-      auto built = BuildScheme(c.scheme, dataset, c.geometry);
+      auto built = BuildScheme(c.scheme, dataset, c.geometry, c.params);
       ASSERT_TRUE(built.ok()) << built.status().ToString();
       program = std::move(built).value();
       horizon = 2 * program->channel().cycle_bytes();
@@ -292,6 +324,7 @@ TEST(InvariantsTest, JobsBitIdentity) {
     config.scheme = c.scheme;
     config.geometry = c.geometry;
     config.multichannel = c.multichannel;
+    config.params = c.params;
     config.num_records = c.num_records;
     config.data_availability = (rng.NextBounded(2) == 0) ? 1.0 : 0.6;
     config.zipf_theta = (rng.NextBounded(2) == 0) ? 0.0 : 0.8;
@@ -299,6 +332,15 @@ TEST(InvariantsTest, JobsBitIdentity) {
         (rng.NextBounded(2) == 0) ? 0.0 : 0.02;
     config.deadline.access_deadline_bytes =
         (rng.NextBounded(2) == 0) ? 0 : 250000;
+    // The online re-tiering loop is simulation-only state, so its jobs
+    // bit-identity lives here: single-channel scheduled draws upgrade to
+    // kOnline half the time, with an epoch short enough to close several
+    // times inside the run.
+    if (config.params.schedule.active() &&
+        config.multichannel.num_channels == 1 && rng.NextBounded(2) == 0) {
+      config.params.schedule.scheduler = SchedulerKind::kOnline;
+      config.params.schedule.retier_requests = 40;
+    }
     config.requests_per_round = 50;
     config.min_rounds = 3;
     config.max_rounds = 5;
@@ -420,6 +462,7 @@ TEST(InvariantsTest, ShardPartitionBitIdentity) {
       config.scheme = c.scheme;
       config.geometry = c.geometry;
       config.multichannel = c.multichannel;
+      config.params = c.params;
       config.num_records = c.num_records;
       config.data_availability = (rng.NextBounded(2) == 0) ? 1.0 : 0.6;
       config.zipf_theta = (rng.NextBounded(2) == 0) ? 0.0 : 0.8;

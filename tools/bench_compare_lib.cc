@@ -316,6 +316,70 @@ CompareResult CompareBenchReports(const BenchReport& baseline,
           std::to_string(candidate.counters.Get("fleet.cache_hits")));
     }
 
+    // Schedule accounting of skew-aware runs (broadcast/schedule.h). The
+    // chunked emission guarantees every data slot of the major cycle is a
+    // record occurrence (exact per-cycle accounting), and re-tiering
+    // moves can only exist once an epoch has closed — a report violating
+    // either is corrupt, not drifted. The multichannel placer's rotation
+    // search can never do worse than the unrotated baseline it starts
+    // from.
+    for (const BenchReport* report : {&baseline, &candidate}) {
+      const char* side = report == &baseline ? "baseline" : "candidate";
+      for (const MetricsRegistry::Entry& entry : report->counters.entries()) {
+        if (entry.name.rfind("schedule.", 0) == 0 && entry.value < 0) {
+          result.failures.push_back(std::string(side) + " counter '" +
+                                    entry.name + "' is negative: " +
+                                    std::to_string(entry.value));
+        }
+      }
+      if (report->counters.Has("schedule.data_slots")) {
+        const std::int64_t slots =
+            report->counters.Get("schedule.data_slots");
+        const std::int64_t occurrences =
+            report->counters.Get("schedule.occurrences");
+        if (occurrences != slots) {
+          result.failures.push_back(
+              std::string(side) +
+              " schedule accounting is inconsistent: schedule.occurrences " +
+              std::to_string(occurrences) + " != schedule.data_slots " +
+              std::to_string(slots) + " (exact per-cycle accounting)");
+        }
+        if (report->counters.Get("schedule.retier_epochs") == 0 &&
+            report->counters.Get("schedule.retier_moves") != 0) {
+          result.failures.push_back(
+              std::string(side) +
+              " schedule accounting is inconsistent: schedule.retier_moves " +
+              std::to_string(report->counters.Get("schedule.retier_moves")) +
+              " with zero schedule.retier_epochs");
+        }
+      }
+      if (report->counters.Has("schedule.conflict_pairs") &&
+          report->counters.Get("schedule.conflict_collisions") >
+              report->counters.Get("schedule.conflict_baseline")) {
+        result.failures.push_back(
+            std::string(side) +
+            " schedule accounting is inconsistent: "
+            "schedule.conflict_collisions " +
+            std::to_string(
+                report->counters.Get("schedule.conflict_collisions")) +
+            " > schedule.conflict_baseline " +
+            std::to_string(
+                report->counters.Get("schedule.conflict_baseline")));
+      }
+    }
+    if (baseline.counters.Has("schedule.data_slots") ||
+        candidate.counters.Has("schedule.data_slots")) {
+      result.notes.push_back(
+          "schedule accounting: data slots " +
+          std::to_string(baseline.counters.Get("schedule.data_slots")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("schedule.data_slots")) +
+          ", re-tier moves " +
+          std::to_string(baseline.counters.Get("schedule.retier_moves")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("schedule.retier_moves")));
+    }
+
     if (baseline.counters.Has("client.channel_hops") ||
         candidate.counters.Has("client.channel_hops")) {
       result.notes.push_back(
