@@ -107,6 +107,12 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--update-rate") == 0) {
       options.client.update_rate =
           ParseDoubleArg(argc, argv, &i, "--update-rate");
+    } else if (std::strcmp(argv[i], "--update-zipf") == 0) {
+      options.client.update_zipf =
+          ParseDoubleArg(argc, argv, &i, "--update-zipf");
+    } else if (std::strcmp(argv[i], "--compact-every") == 0) {
+      options.client.compact_every =
+          ParseIntArg(argc, argv, &i, "--compact-every");
     } else if (std::strcmp(argv[i], "--cache-warmup") == 0) {
       options.client.warmup_queries =
           ParseIntArg(argc, argv, &i, "--cache-warmup");
@@ -267,6 +273,50 @@ BenchReporter::BenchReporter(std::string bench_name,
                 std::to_string(options.schedule.retier_requests));
     }
   }
+  // Self-describing reports: the fully-resolved value of every shared
+  // flag that can shape results, recorded unconditionally so sharded
+  // partials and committed baselines state the run they describe. The
+  // conditional keys above are kept for readers that learned them.
+  // Run-variant knobs are deliberately absent: --json, --shard,
+  // --program-cache, --access-path and --jobs never change results, and
+  // the cold-vs-warm and sharded-merge CI gates byte-compare reports
+  // across them (MergeShardedReports also requires config equality
+  // across shards).
+  AddConfig("resolved.quick", options.quick ? "true" : "false");
+  AddConfig("resolved.records",
+            options.records > 0 ? std::to_string(options.records)
+                                : "bench-grid");
+  AddConfig("resolved.channels",
+            std::to_string(options.multichannel.num_channels));
+  AddConfig("resolved.switch_cost_bytes",
+            std::to_string(options.multichannel.switch_cost_bytes));
+  AddConfig("resolved.allocation",
+            ChannelAllocationToString(options.multichannel.allocation));
+  AddConfig("resolved.zipf_theta",
+            options.zipf_theta >= 0.0 ? FormatFlagDouble(options.zipf_theta)
+                                      : "bench-default");
+  AddConfig("resolved.cache_size",
+            std::to_string(options.client.cache_capacity));
+  AddConfig("resolved.cache_policy",
+            CachePolicyToString(options.client.cache_policy));
+  AddConfig("resolved.session_length",
+            std::to_string(options.client.session_length));
+  AddConfig("resolved.repeat_probability",
+            FormatFlagDouble(options.client.repeat_probability));
+  AddConfig("resolved.update_rate",
+            FormatFlagDouble(options.client.update_rate));
+  AddConfig("resolved.update_zipf",
+            FormatFlagDouble(options.client.update_zipf));
+  AddConfig("resolved.compact_every",
+            std::to_string(options.client.compact_every));
+  AddConfig("resolved.cache_warmup",
+            std::to_string(options.client.warmup_queries));
+  AddConfig("resolved.fleet_size", std::to_string(options.fleet_size));
+  AddConfig("resolved.scheduler",
+            SchedulerKindToString(options.schedule.scheduler));
+  AddConfig("resolved.disks", std::to_string(options.schedule.num_disks));
+  AddConfig("resolved.retier_requests",
+            std::to_string(options.schedule.retier_requests));
 }
 
 void BenchReporter::AddConfig(const std::string& key,

@@ -27,9 +27,16 @@
 //   --session-length K  queries per client session
 //   --repeat-prob P  within-session probability of repeating the
 //                  previous query (temporal locality)
-//   --update-rate U  server updates per broadcast cycle (cached entries
-//                  are validated against the broadcast and refetched
-//                  when stale)
+//   --update-rate U  server-side mutations per record per broadcast
+//                  cycle. 0 (default) freezes the dataset and bypasses
+//                  the dynamic layer entirely; > 0 runs the MutationLog
+//                  / incremental-maintenance engine (src/dynamic) and
+//                  wires real record versions into cache validation
+//   --update-zipf T  Zipf skew of mutation targets over record ranks
+//                  (0 = uniform; only meaningful with --update-rate)
+//   --compact-every K  rebuild the broadcast program from the mutated
+//                  dataset every K cycles (0 = patch forever, never
+//                  compact; only meaningful with --update-rate)
 //   --cache-warmup N warmup queries before measurement (steady state)
 //   --fleet-size N   population size for fleet-mode benches (fig_fleet):
 //                  N clients share one broadcast cycle via the batched
@@ -59,6 +66,12 @@
 //
 // BenchReporter accumulates the report while the bench prints its usual
 // tables, then writes the JSON file on Finish() when --json was given.
+// Every report's config block also embeds the fully-resolved shared-flag
+// set under `resolved.*` keys, so sharded partials and committed
+// baselines are self-describing; result-neutral knobs (--json, --shard,
+// --program-cache, --access-path, --jobs) are excluded so the CI
+// byte-identity gates keep holding across them. Readers tolerate
+// reports without these keys (config is an open key/value list).
 
 #ifndef AIRINDEX_BENCH_BENCH_MAIN_H_
 #define AIRINDEX_BENCH_BENCH_MAIN_H_

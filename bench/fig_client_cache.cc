@@ -9,7 +9,10 @@
 //
 // Clients run sessions of 8 Zipf queries with repeat probability 0.25;
 // each replication warms its cache before measuring, so the simulated
-// point is the steady state the model describes.
+// point is the steady state the model describes. update_rate > 0 cells
+// run the real mutation engine (src/dynamic): cached entries validate
+// against MutationLog versions, and deletes shave the live fraction off
+// the effective availability (see analytical/dynamic_model.h).
 //
 // Usage: fig_client_cache [--quick] [--csv] [--jobs N] [--records N]
 //                         [--session-length K] [--repeat-prob P]
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "analytical/client_model.h"
+#include "analytical/dynamic_model.h"
 #include "analytical/models.h"
 #include "bench_main.h"
 #include "client/client_cache.h"
@@ -69,18 +73,37 @@ ClientSessionEstimate CellModel(const SweepCell& cell, CachePolicy policy,
   ClientSessionModelInputs inputs;
   inputs.popularity = popularity;
   inputs.residency = residency;
+  double availability = config.data_availability;
   if (cell.update_rate > 0.0) {
+    // Real-mutation semantics (src/dynamic): every cycle issues
+    // rate * N uniform draws, so a record is hit with probability
+    // t = 1 - (1 - 1/N)^(rate * N) per cycle — an effective per-record
+    // update period of cycle_bytes / t. Deletes (a fixed fraction of
+    // hits) shave the live fraction off availability: a dead record's
+    // refetch fails, so its cached copy drops until a re-insert.
+    const double n = static_cast<double>(config.num_records);
+    const double hit_probability =
+        1.0 - std::pow(1.0 - 1.0 / n, cell.update_rate * n);
     const auto period = static_cast<Bytes>(std::llround(
-        static_cast<double>(cycle_bytes) / cell.update_rate));
+        static_cast<double>(cycle_bytes) / hit_probability));
+    DynamicModelParams dynamic;
+    dynamic.universe_size = config.num_records;
+    dynamic.update_rate = cell.update_rate;
+    dynamic.update_zipf = config.client.update_zipf;
+    dynamic.compact_every = config.client.compact_every;
+    dynamic.patchable = true;  // (1,m) is the patchable family
+    dynamic.workload_zipf = cell.zipf_theta;
+    dynamic.epochs = 64;  // transient-aware window, near steady state
+    availability *= EvaluateDynamicModel(dynamic).live_fraction;
     inputs.freshness =
-        SteadyStateFreshness(popularity, config.data_availability,
+        SteadyStateFreshness(popularity, availability,
                              config.mean_request_interval_bytes, period);
     inputs.repeat_freshness =
         RepeatFreshness(config.mean_request_interval_bytes, period);
     inputs.validation_bytes =
         static_cast<double>(config.geometry.signature_bytes);
   }
-  inputs.availability = config.data_availability;
+  inputs.availability = availability;
   inputs.session_length = config.client.session_length;
   inputs.repeat_probability = config.client.repeat_probability;
   const AnalyticalEstimate base = OneMModelExact(

@@ -20,6 +20,7 @@
 #include "data/dataset.h"
 #include "des/event_queue.h"
 #include "des/random.h"
+#include "dynamic/dynamic_program.h"
 #include "schemes/access_path.h"
 #include "schemes/scheme.h"
 
@@ -190,6 +191,77 @@ void BM_FleetShard(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * params.fleet_size);
 }
 
+/// One epoch of incremental maintenance per iteration: the runtime
+/// applies rate * N mutations by patching the live (1,m) program in
+/// place (free-list recycling, no rebuild). Items processed = mutations,
+/// so google-benchmark's items/s column reads directly as patches per
+/// second. Hold against BM_FullRebuild: the rebuild's per-epoch cost is
+/// flat in the update rate while patching is linear, so the break-even
+/// update rate is where the two items/s figures cross.
+void BM_IncrementalPatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto dataset = BenchDataset(n);
+  const BucketGeometry geometry;
+  auto scheme = BuildScheme(SchemeKind::kOneM, dataset, geometry).value();
+  const Bytes epoch = scheme->channel().cycle_bytes();
+  DynamicRuntime runtime;
+  DynamicRuntime::Params params;
+  params.kind = SchemeKind::kOneM;
+  params.universe = dataset;
+  params.geometry = geometry;
+  params.update_rate = 4.0;
+  params.compact_every = 0;
+  params.seed = 7;
+  params.epoch_bytes = epoch;
+  params.base_scheme = scheme.get();
+  if (!runtime.Start(std::move(params)).ok()) {
+    state.SkipWithError("runtime start failed");
+    return;
+  }
+  Bytes now = 1;
+  for (auto _ : state) {
+    now += epoch;
+    runtime.AdvanceTo(now);
+    benchmark::DoNotOptimize(runtime.counters().mutations);
+  }
+  state.SetItemsProcessed(runtime.counters().mutations);
+}
+
+/// The alternative discipline: every epoch materializes the live dataset
+/// and rebuilds the whole program from scratch (the compaction path).
+/// Items processed = mutations absorbed, as in BM_IncrementalPatch.
+void BM_FullRebuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto dataset = BenchDataset(n);
+  const BucketGeometry geometry;
+  auto scheme = BuildScheme(SchemeKind::kOneM, dataset, geometry).value();
+  const Bytes epoch = scheme->channel().cycle_bytes();
+  DynamicRuntime runtime;
+  DynamicRuntime::Params params;
+  params.kind = SchemeKind::kOneM;
+  params.universe = dataset;
+  params.geometry = geometry;
+  params.update_rate = 4.0;
+  params.compact_every = 0;  // compaction forced below, every epoch
+  params.seed = 7;
+  params.epoch_bytes = epoch;
+  params.base_scheme = scheme.get();
+  if (!runtime.Start(std::move(params)).ok()) {
+    state.SkipWithError("runtime start failed");
+    return;
+  }
+  Bytes now = 1;
+  for (auto _ : state) {
+    now += epoch;
+    runtime.AdvanceTo(now);
+    if (!runtime.ForceCompact()) {
+      state.SkipWithError("compaction failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(runtime.counters().mutations);
+}
+
 void BM_RngUint64(benchmark::State& state) {
   Rng rng(9);
   for (auto _ : state) {
@@ -254,6 +326,9 @@ BENCHMARK_CAPTURE(BM_RunReplication, signature, SchemeKind::kSignature)
     ->Arg(7000);
 
 BENCHMARK(BM_FleetShard)->Arg(1000)->Arg(10000);
+
+BENCHMARK(BM_IncrementalPatch)->Arg(34000);
+BENCHMARK(BM_FullRebuild)->Arg(34000);
 
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_RngUint64);

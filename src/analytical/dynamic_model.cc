@@ -1,0 +1,157 @@
+// Layer: 4 (analytical) — see docs/ARCHITECTURE.md for the layer map.
+#include "analytical/dynamic_model.h"
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "analytical/client_model.h"
+
+namespace airindex {
+
+namespace {
+
+/// States of the per-record chain (header comment): in-base live clean,
+/// in-base live dirty, in-base tombstone, off-base live, off-base dead.
+enum { kBC = 0, kBD = 1, kBT = 2, kNL = 3, kND = 4 };
+
+using Matrix = std::array<std::array<double, 5>, 5>;
+using StateVector = std::array<double, 5>;
+
+Matrix Identity() {
+  Matrix m{};
+  for (std::size_t i = 0; i < 5; ++i) m[i][i] = 1.0;
+  return m;
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  Matrix out{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t k = 0; k < 5; ++k) {
+      const double aik = a[i][k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < 5; ++j) out[i][j] += aik * b[k][j];
+    }
+  }
+  return out;
+}
+
+Matrix Power(Matrix base, std::int64_t exponent) {
+  Matrix out = Identity();
+  while (exponent > 0) {
+    if ((exponent & 1) != 0) out = Multiply(out, base);
+    base = Multiply(base, base);
+    exponent >>= 1;
+  }
+  return out;
+}
+
+/// One mutation draw as seen by record i: hit with probability q, a hit
+/// on a live record deletes with probability delta (else updates), a
+/// hit on a dead record re-inserts.
+Matrix DrawMatrix(double q, double delta) {
+  Matrix m{};
+  m[kBC][kBC] = 1.0 - q;
+  m[kBC][kBD] = q * (1.0 - delta);
+  m[kBC][kBT] = q * delta;
+  m[kBD][kBD] = 1.0 - q * delta;
+  m[kBD][kBT] = q * delta;
+  m[kBT][kBT] = 1.0 - q;
+  m[kBT][kBD] = q;
+  m[kNL][kNL] = 1.0 - q * delta;
+  m[kNL][kND] = q * delta;
+  m[kND][kND] = 1.0 - q;
+  m[kND][kNL] = q;
+  return m;
+}
+
+StateVector Apply(const StateVector& v, const Matrix& m) {
+  StateVector out{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    for (std::size_t j = 0; j < 5; ++j) out[j] += vi * m[i][j];
+  }
+  return out;
+}
+
+/// Compaction resets the snapshot: live records (re-)enter the base
+/// clean, dead ones leave it.
+StateVector Compact(const StateVector& v) {
+  StateVector out{};
+  out[kBC] = v[kBC] + v[kBD] + v[kNL];
+  out[kND] = v[kBT] + v[kND];
+  return out;
+}
+
+}  // namespace
+
+DynamicModelResult EvaluateDynamicModel(const DynamicModelParams& params) {
+  DynamicModelResult result;
+  const int n = params.universe_size;
+  if (n <= 0 || params.update_rate <= 0.0) {
+    result.dirty_probability = 0.0;
+    result.delta_read_probability = 0.0;
+    result.live_fraction = 1.0;
+    return result;
+  }
+  const std::vector<double> popularity =
+      ZipfPopularity(n, params.workload_zipf);
+  const std::vector<double> target = ZipfPopularity(n, params.update_zipf);
+
+  // Per-epoch draw budgets, replaying the MutationLog's fractional
+  // credit accumulator exactly.
+  std::vector<std::int64_t> draws(
+      static_cast<std::size_t>(std::max<std::int64_t>(params.epochs, 0)));
+  double credit = 0.0;
+  for (std::int64_t& d : draws) {
+    credit += params.update_rate * static_cast<double>(n);
+    d = static_cast<std::int64_t>(std::floor(credit));
+    credit -= static_cast<double>(d);
+  }
+
+  const double windows = static_cast<double>(params.epochs + 1);
+  double dirty = 0.0;
+  double delta_reads = 0.0;
+  double live = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double q = target[static_cast<std::size_t>(i)];
+    // Epoch transition matrices, cached per distinct draw count (the
+    // accumulator emits at most two).
+    std::vector<std::pair<std::int64_t, Matrix>> powers;
+    const auto epoch_matrix = [&](std::int64_t d) -> const Matrix& {
+      for (const auto& entry : powers) {
+        if (entry.first == d) return entry.second;
+      }
+      powers.emplace_back(
+          d, Power(DrawMatrix(q, kDynamicModelDeleteFraction), d));
+      return powers.back().second;
+    };
+    StateVector v{};
+    v[kBC] = 1.0;
+    double dirty_i = 1.0 - v[kBC];
+    double delta_i = params.patchable ? v[kNL] : v[kBD] + v[kBT] + v[kNL];
+    double live_i = v[kBC] + v[kBD] + v[kNL];
+    for (std::size_t e = 0; e < draws.size(); ++e) {
+      v = Apply(v, epoch_matrix(draws[e]));
+      if (params.compact_every > 0 &&
+          (static_cast<std::int64_t>(e) + 1) % params.compact_every == 0) {
+        v = Compact(v);
+      }
+      dirty_i += 1.0 - v[kBC];
+      delta_i += params.patchable ? v[kNL] : v[kBD] + v[kBT] + v[kNL];
+      live_i += v[kBC] + v[kBD] + v[kNL];
+    }
+    const double w = popularity[static_cast<std::size_t>(i)];
+    dirty += w * dirty_i / windows;
+    delta_reads += w * delta_i / windows;
+    live += w * live_i / windows;
+  }
+  result.dirty_probability = params.data_availability * dirty;
+  result.delta_read_probability = params.data_availability * delta_reads;
+  result.live_fraction = live;
+  return result;
+}
+
+}  // namespace airindex

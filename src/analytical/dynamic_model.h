@@ -1,0 +1,78 @@
+// Layer: 4 (analytical) — see docs/ARCHITECTURE.md for the layer map.
+//
+// Closed-form staleness model of the dynamic-dataset layer
+// (src/dynamic): expected stale-read (dirty-query) probability and
+// delta-read overhead as a function of update rate, mutation skew and
+// compaction period. Verified sim-vs-model by tests/dynamic_test.cc.
+//
+// Per universe record i the mutation stream is a sequence of draws
+// hitting it with probability q_i per draw (Zipf(update_zipf) by rank,
+// uniform at 0), with each epoch issuing ~rate * N draws. Relative to
+// the last compaction snapshot a record walks a five-state chain:
+//
+//   BC  in base, live, clean        BD  in base, live, dirty
+//   BT  in base, dead (tombstone)   NL  off base, live (delta segment)
+//   ND  off base, dead
+//
+// A hit on a live record deletes it with probability
+// kDynamicModelDeleteFraction and updates it otherwise; a hit on a dead
+// record re-inserts it. Compaction maps BD/NL -> BC and BT -> ND. A
+// query is *dirty* when its record left BC; it pays a *delta read* when
+// the answer lives in the delta segment — state NL for the patchable
+// (B+/key-ordered) family, NL/BD/BT for the delta family, whose slots
+// cannot be patched in place.
+//
+// This layer must not link src/dynamic, so the delete fraction is
+// duplicated here; tests/dynamic_test.cc pins the two constants equal.
+#ifndef AIRINDEX_ANALYTICAL_DYNAMIC_MODEL_H_
+#define AIRINDEX_ANALYTICAL_DYNAMIC_MODEL_H_
+
+#include <cstdint>
+
+namespace airindex {
+
+/// Mirror of kDynamicDeleteFraction (dynamic/mutation_log.h).
+inline constexpr double kDynamicModelDeleteFraction = 0.1;
+
+struct DynamicModelParams {
+  /// Records in the universe dataset.
+  int universe_size = 0;
+  /// Per-record mutations per epoch (--update-rate); the per-epoch draw
+  /// budget is rate * universe_size, fractional credit carried exactly
+  /// like the MutationLog's accumulator.
+  double update_rate = 0.0;
+  /// Zipf skew of mutation targets (--update-zipf); 0 = uniform.
+  double update_zipf = 0.0;
+  /// Compaction period in epochs (--compact-every); 0 = never.
+  int compact_every = 0;
+  /// True for the B+/key-ordered family (kFlat/kOneM/kDistributed)
+  /// whose base slots are patched in place.
+  bool patchable = true;
+  /// Workload skew of query popularity over record rank (zipf_theta).
+  double workload_zipf = 0.0;
+  /// Probability a query's key is on air (off-air queries are never
+  /// dirty; the simulator counts them in dynamic.queries).
+  double data_availability = 1.0;
+  /// Epoch windows the run spans: queries are averaged over windows
+  /// 0..epochs (a query in window e observes e processed epochs).
+  std::int64_t epochs = 0;
+};
+
+struct DynamicModelResult {
+  /// E[dynamic.dirty_queries / dynamic.queries].
+  double dirty_probability = 0.0;
+  /// E[dynamic.delta_reads / dynamic.queries].
+  double delta_read_probability = 0.0;
+  /// Query-popularity-weighted probability the queried record is live —
+  /// the factor server updates shave off the effective availability.
+  double live_fraction = 1.0;
+};
+
+/// Evaluates the five-state chain exactly (per-record transition
+/// matrices powered by the integer per-epoch draw counts) and averages
+/// over the run's epoch windows.
+DynamicModelResult EvaluateDynamicModel(const DynamicModelParams& params);
+
+}  // namespace airindex
+
+#endif  // AIRINDEX_ANALYTICAL_DYNAMIC_MODEL_H_

@@ -50,8 +50,17 @@ struct ClientSessionConfig {
   double repeat_probability = 0.0;
   /// Server-side mutation rate in updates per broadcast cycle, applied
   /// independently to every record. 0 freezes the data (no versioning,
-  /// no validation reads).
+  /// no validation reads). A positive rate activates the dynamic-dataset
+  /// layer (src/dynamic): a real MutationLog drives record versions,
+  /// incremental program maintenance and delta-bucket reads.
   double update_rate = 0.0;
+  /// Zipf skew of mutation targets over record rank (src/dynamic);
+  /// 0 = uniform targeting. Ignored when update_rate is 0.
+  double update_zipf = 0.0;
+  /// Compaction period of the dynamic layer: every this many broadcast
+  /// epochs the live program is rebuilt from the materialized dataset
+  /// instead of patched. 0 never compacts. Ignored when update_rate is 0.
+  int compact_every = 0;
   /// Warmup queries run against the cache before measurement starts, so
   /// short replications observe the steady state the analytical models
   /// describe rather than the cold start. Ignored when the cache is off.

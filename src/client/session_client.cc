@@ -18,6 +18,11 @@ SessionClient::SessionClient(const Dataset* dataset,
              std::move(broadcast_frequencies)) {}
 
 std::int64_t SessionClient::ServerVersion(int record_index, Bytes now) const {
+  // Real versions from the dynamic-dataset layer take precedence; the
+  // synthetic schedule below is the static-dataset approximation.
+  if (params_.versions != nullptr) {
+    return params_.versions->Version(record_index, now);
+  }
   if (params_.update_period <= 0) return 0;
   const Bytes phase = static_cast<Bytes>(
       Mix64(params_.update_seed ^ static_cast<std::uint64_t>(record_index)) %

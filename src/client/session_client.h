@@ -27,6 +27,20 @@ class RecordFetcher {
   virtual AccessResult Fetch(std::string_view key, Bytes tune_in) = 0;
 };
 
+/// Source of real server-side record versions (the dynamic-dataset
+/// layer's MutationLog, adapted by the core layer). When wired into
+/// SessionClientParams it replaces the synthetic version schedule, so
+/// invalidations track actual mutations instead of a modeled rate.
+class DynamicVersionSource {
+ public:
+  virtual ~DynamicVersionSource() = default;
+
+  /// Version of record `record_index` at absolute byte time `now`.
+  /// Implementations may advance internal mutation state; callers ask
+  /// with monotonically nondecreasing `now`.
+  virtual std::int64_t Version(int record_index, Bytes now) = 0;
+};
+
 /// Resolved knobs of one SessionClient instance (derived by the core
 /// layer from ClientSessionConfig and the built channel shape).
 struct SessionClientParams {
@@ -45,6 +59,10 @@ struct SessionClientParams {
   /// Charged to tuning time only: the client is already listening to
   /// that segment, so no extra broadcast bytes elapse.
   Bytes validation_bytes = 0;
+  /// Real version source (dynamic-dataset layer). Non-null overrides
+  /// the synthetic schedule above; must outlive the client. Per
+  /// replication, like the client itself, so --jobs bit-identity holds.
+  DynamicVersionSource* versions = nullptr;
 };
 
 /// Stateful client: a record cache in front of a broadcast scheme.

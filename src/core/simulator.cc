@@ -20,6 +20,7 @@
 #include "data/dataset.h"
 #include "des/random.h"
 #include "des/simulation.h"
+#include "dynamic/dynamic_program.h"
 #include "schemes/scheduled.h"
 
 namespace airindex {
@@ -108,7 +109,8 @@ MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
                                    const BroadcastServer& server,
                                    const ResultHandler& results,
                                    const SessionClient* session,
-                                   const ScheduleRuntime& schedule) {
+                                   const ScheduleRuntime& schedule,
+                                   const DynamicRuntime& dynamic) {
   MetricsRegistry metrics;
   metrics.Increment("sim.events_processed",
                     static_cast<std::int64_t>(simulation.events_processed()));
@@ -176,26 +178,65 @@ MetricsRegistry SnapshotRunMetrics(const Simulation& simulation,
     metrics.Increment("schedule.retier_moves", schedule.moves);
     metrics.Increment("schedule.rebuild_failures", schedule.rebuild_failures);
   }
+  // The dynamic block appears only when the mutation engine is engaged
+  // (update_rate > 0) — a config-level predicate, so every replication
+  // of a run emits the same names and --update-rate 0 reports stay
+  // byte-identical with the committed baselines. The identities
+  // bench_compare --strict-counters pins are documented in
+  // docs/METRICS.md.
+  if (dynamic.active()) {
+    const DynamicCounters& d = dynamic.counters();
+    metrics.Increment("dynamic.cycles", d.cycles);
+    metrics.Increment("dynamic.patched_cycles", d.patched_cycles);
+    metrics.Increment("dynamic.rebuilt_cycles", d.rebuilt_cycles);
+    metrics.Increment("dynamic.mutations", d.mutations);
+    metrics.Increment("dynamic.inserts", d.inserts);
+    metrics.Increment("dynamic.deletes", d.deletes);
+    metrics.Increment("dynamic.updates", d.updates);
+    metrics.Increment("dynamic.freelist_pushes", d.freelist_pushes);
+    metrics.Increment("dynamic.freelist_pops", d.freelist_pops);
+    metrics.Increment("dynamic.delta_appends", d.delta_appends);
+    metrics.Increment("dynamic.queries", d.queries);
+    metrics.Increment("dynamic.dirty_queries", d.dirty_queries);
+    metrics.Increment("dynamic.delta_reads", d.delta_reads);
+    metrics.Increment("dynamic.delta_read_bytes", d.delta_read_bytes);
+    metrics.Increment("dynamic.compaction_failures",
+                      dynamic.compaction_failures());
+    // Stale reads are the session client's invalidations: a cached copy
+    // whose record the MutationLog has since touched. Without a cache
+    // nothing can be read stale.
+    metrics.Increment("dynamic.stale_reads",
+                      session != nullptr ? session->invalidations() : 0);
+  }
   return metrics;
 }
 
 /// Miss path of the session client: the wrapped scheme with the same
 /// unreliable-channel and deadline wrappers the stateless client runs.
+/// With the dynamic-dataset layer active, misses route through the
+/// mutable overlay instead (the validator pins dynamic runs to a
+/// lossless single channel, so the unreliable wrapper never composes
+/// with it).
 struct ServerFetcher final : RecordFetcher {
   ServerFetcher(const BroadcastServer* server_in,
                 const TestbedConfig* config_in, Rng* error_rng_in,
-                bool unreliable_in)
+                bool unreliable_in, DynamicRuntime* dynamic_in)
       : server(server_in),
         config(config_in),
         error_rng(error_rng_in),
-        unreliable(unreliable_in) {}
+        unreliable(unreliable_in),
+        dynamic(dynamic_in) {}
 
   const BroadcastServer* server;
   const TestbedConfig* config;
   Rng* error_rng;
   bool unreliable;
+  DynamicRuntime* dynamic;
 
   AccessResult Fetch(std::string_view key, Bytes tune_in) override {
+    if (dynamic != nullptr && dynamic->active()) {
+      return ApplyDeadline(dynamic->Access(key, tune_in), config->deadline);
+    }
     return ApplyDeadline(
         unreliable ? AccessWithErrors(server->scheme(), key, tune_in,
                                       config->error_model, error_rng)
@@ -203,6 +244,42 @@ struct ServerFetcher final : RecordFetcher {
         config->deadline);
   }
 };
+
+/// Adapts the dynamic runtime's MutationLog to the session client's
+/// version interface, replacing the synthetic update schedule with real
+/// server-side mutations.
+struct DynamicVersions final : DynamicVersionSource {
+  DynamicRuntime* runtime = nullptr;
+
+  std::int64_t Version(int record_index, Bytes now) override {
+    return runtime->VersionAt(record_index, now);
+  }
+};
+
+/// Starts the dynamic-dataset overlay for a run when the config asks
+/// for server-side mutations. `seed` is the config's master seed in
+/// RunTestbed and the replication seed in RunReplication: each
+/// replication owns an independent slice of mutation history (like its
+/// request stream), which is what keeps --jobs bit-identity.
+Status StartDynamicRuntime(DynamicRuntime* dynamic,
+                           const TestbedConfig& config,
+                           std::shared_ptr<const Dataset> universe,
+                           const BroadcastServer& server,
+                           std::uint64_t seed) {
+  if (config.client.update_rate <= 0.0) return Status::Ok();
+  DynamicRuntime::Params params;
+  params.kind = config.scheme;
+  params.universe = std::move(universe);
+  params.geometry = config.geometry;
+  params.scheme_params = ResolvedSchemeParams(config);
+  params.update_rate = config.client.update_rate;
+  params.update_zipf = config.client.update_zipf;
+  params.compact_every = config.client.compact_every;
+  params.seed = Mix64(seed ^ 0xdc2a5ee0ULL);
+  params.epoch_bytes = server.channel().cycle_bytes();
+  params.base_scheme = &server.scheme();
+  return dynamic->Start(std::move(params));
+}
 
 /// The longest broadcast cycle in play — the time base of the server
 /// update schedule (update_rate is "updates per broadcast cycle").
@@ -317,6 +394,32 @@ Status ValidateTestbedConfig(const TestbedConfig& config) {
   }
   if (config.client.update_rate < 0.0) {
     return Status::InvalidArgument("update rate must be non-negative");
+  }
+  if (config.client.update_zipf < 0.0) {
+    return Status::InvalidArgument("update zipf must be non-negative");
+  }
+  if (config.client.compact_every < 0) {
+    return Status::InvalidArgument("compact period must be non-negative");
+  }
+  // The dynamic-dataset layer patches one live single-channel program;
+  // the multichannel coordinator, the skew-aware schedulers and the
+  // unreliable-channel wrapper all hold assumptions about a frozen
+  // layout, so they are gated off rather than silently served stale
+  // content. Deadlines compose (the impatience wrapper truncates the
+  // dynamic walk like any other).
+  if (config.client.update_rate > 0.0) {
+    if (config.multichannel.num_channels != 1) {
+      return Status::InvalidArgument(
+          "dynamic datasets require a single channel");
+    }
+    if (config.params.schedule.active()) {
+      return Status::InvalidArgument(
+          "dynamic datasets are incompatible with skew-aware scheduling");
+    }
+    if (config.error_model.bucket_error_rate > 0.0) {
+      return Status::InvalidArgument(
+          "dynamic datasets require a lossless channel");
+    }
   }
   if (config.client.warmup_queries < 0) {
     return Status::InvalidArgument("warmup queries must be non-negative");
@@ -434,6 +537,16 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   ScheduleRuntime schedule;
   schedule.Start(server, *dataset, config);
 
+  // Dynamic-dataset overlay (src/dynamic), engaged only when the config
+  // asks for server updates — the --update-rate 0 bypass keeps frozen
+  // runs byte-identical.
+  DynamicRuntime dynamic;
+  if (Status s =
+          StartDynamicRuntime(&dynamic, config, dataset, server, config.seed);
+      !s.ok()) {
+    return s;
+  }
+
   Rng master(config.seed);
   RequestGenerator generator(
       dataset.get(), config.data_availability,
@@ -449,11 +562,15 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
 
   // Stateful-client wrapper, engaged only when the cache has capacity —
   // the zero-capacity bypass keeps stateless runs byte-identical.
-  ServerFetcher fetcher{&server, &config, &error_rng, unreliable};
+  ServerFetcher fetcher{&server, &config, &error_rng, unreliable, &dynamic};
+  DynamicVersions versions{};
+  versions.runtime = &dynamic;
   std::optional<SessionClient> session_storage;
   if (config.client.cache_capacity > 0) {
+    SessionClientParams session_params = BuildSessionParams(config, server);
+    if (dynamic.active()) session_params.versions = &versions;
     session_storage.emplace(
-        dataset.get(), BuildSessionParams(config, server),
+        dataset.get(), session_params,
         SessionFrequencies(server, dataset->size(),
                            config.client.cache_policy),
         &fetcher);
@@ -476,6 +593,9 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
       const AccessResult access =
           session != nullptr
               ? session->Access(query.key, simulation.now())
+          : dynamic.active()
+              ? ApplyDeadline(dynamic.Access(query.key, simulation.now()),
+                              config.deadline)
               : ApplyDeadline(
                     unreliable
                         ? AccessWithErrors(schedule.scheme(), query.key,
@@ -485,7 +605,15 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
                                                    simulation.now()),
                     config.deadline);
       if (schedule.observing() && query.on_air) schedule.Observe(query.key);
-      auto on_completion = [&, access, on_air = query.on_air]() {
+      // Liveness-adjusted outcome expectation, evaluated at the same
+      // tune-in instant the access ran: a record the MutationLog has
+      // deleted is legitimately not found.
+      const bool on_air =
+          dynamic.active()
+              ? dynamic.ExpectedOnAir(query.on_air, query.key,
+                                      simulation.now())
+              : query.on_air;
+      auto on_completion = [&, access, on_air]() {
         results.Add(access, on_air);
         if (results.round_size() >= config.requests_per_round) {
           const ResultHandler::RoundStats round = results.CloseRound();
@@ -526,8 +654,8 @@ Result<SimulationResult> RunTestbed(const TestbedConfig& config) {
   result.false_drops = results.false_drops();
   result.anomalies = results.anomalies();
   result.outcome_mismatches = results.outcome_mismatches();
-  result.metrics =
-      SnapshotRunMetrics(simulation, server, results, session, schedule);
+  result.metrics = SnapshotRunMetrics(simulation, server, results, session,
+                                      schedule, dynamic);
   FillChannelShape(server, &result);
   return result;
 }
@@ -559,15 +687,33 @@ ReplicationResult RunReplication(const BroadcastServer& server,
   ScheduleRuntime schedule;
   schedule.Start(server, dataset, config);
 
+  // Per-replication dynamic state: each replication replays its own
+  // slice of mutation history seeded from the replication seed, so the
+  // result stays a pure function of (server, dataset, config,
+  // replication_seed) and --jobs bit-identity holds. Start cannot fail
+  // here: the coordinator validated the config before building the
+  // server.
+  DynamicRuntime dynamic;
+  const Status dynamic_status = StartDynamicRuntime(
+      &dynamic, config,
+      std::shared_ptr<const Dataset>(std::shared_ptr<const void>(),
+                                     &dataset),
+      server, replication_seed);
+  (void)dynamic_status;
+
   // Per-replication client state: the session cache is rebuilt and
   // re-warmed from this replication's own stream, so the result stays a
   // pure function of (server, dataset, config, replication_seed) and
   // --jobs bit-identity holds.
-  ServerFetcher fetcher{&server, &config, &error_rng, unreliable};
+  ServerFetcher fetcher{&server, &config, &error_rng, unreliable, &dynamic};
+  DynamicVersions versions{};
+  versions.runtime = &dynamic;
   std::optional<SessionClient> session_storage;
   if (config.client.cache_capacity > 0) {
+    SessionClientParams session_params = BuildSessionParams(config, server);
+    if (dynamic.active()) session_params.versions = &versions;
     session_storage.emplace(
-        &dataset, BuildSessionParams(config, server),
+        &dataset, session_params,
         SessionFrequencies(server, dataset.size(),
                            config.client.cache_policy),
         &fetcher);
@@ -585,6 +731,9 @@ ReplicationResult RunReplication(const BroadcastServer& server,
       const AccessResult access =
           session != nullptr
               ? session->Access(query.key, simulation.now())
+          : dynamic.active()
+              ? ApplyDeadline(dynamic.Access(query.key, simulation.now()),
+                              config.deadline)
               : ApplyDeadline(
                     unreliable
                         ? AccessWithErrors(schedule.scheme(), query.key,
@@ -594,7 +743,12 @@ ReplicationResult RunReplication(const BroadcastServer& server,
                                                    simulation.now()),
                     config.deadline);
       if (schedule.observing() && query.on_air) schedule.Observe(query.key);
-      auto on_completion = [&, access, on_air = query.on_air]() {
+      const bool on_air =
+          dynamic.active()
+              ? dynamic.ExpectedOnAir(query.on_air, query.key,
+                                      simulation.now())
+              : query.on_air;
+      auto on_completion = [&, access, on_air]() {
         results.Add(access, on_air);
       };
       static_assert(
@@ -623,8 +777,8 @@ ReplicationResult RunReplication(const BroadcastServer& server,
   replication.false_drops = results.false_drops();
   replication.anomalies = results.anomalies();
   replication.outcome_mismatches = results.outcome_mismatches();
-  replication.metrics =
-      SnapshotRunMetrics(simulation, server, results, session, schedule);
+  replication.metrics = SnapshotRunMetrics(simulation, server, results,
+                                           session, schedule, dynamic);
   const ResultHandler::RoundStats round = results.CloseRound();
   replication.round_access_mean = round.access_mean;
   replication.round_tuning_mean = round.tuning_mean;

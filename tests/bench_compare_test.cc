@@ -392,6 +392,90 @@ TEST(BenchCompareTest, ScheduleAccountingGatedUnderStrict) {
   EXPECT_FALSE(CompareBenchReports(negative, negative, strict).passed());
 }
 
+TEST(BenchCompareTest, DynamicAccountingGatedUnderStrict) {
+  CompareOptions strict;
+  strict.strict_counters = true;
+
+  // A consistent dynamic block with a stateful client riding on top.
+  BenchReport base = BaseReport();
+  base.counters.Increment("dynamic.cycles", 40);
+  base.counters.Increment("dynamic.patched_cycles", 30);
+  base.counters.Increment("dynamic.rebuilt_cycles", 10);
+  base.counters.Increment("dynamic.mutations", 200);
+  base.counters.Increment("dynamic.inserts", 30);
+  base.counters.Increment("dynamic.deletes", 40);
+  base.counters.Increment("dynamic.updates", 130);
+  base.counters.Increment("dynamic.freelist_pushes", 35);
+  base.counters.Increment("dynamic.freelist_pops", 25);
+  base.counters.Increment("dynamic.delta_appends", 60);
+  base.counters.Increment("dynamic.queries", 1000);
+  base.counters.Increment("dynamic.dirty_queries", 300);
+  base.counters.Increment("dynamic.delta_reads", 120);
+  base.counters.Increment("dynamic.delta_read_bytes", 9600);
+  base.counters.Increment("dynamic.stale_reads", 50);
+  base.counters.Increment("client.session_queries", 1000);
+  base.counters.Increment("client.cache_hits", 400);
+  base.counters.Increment("client.cache_misses", 600);
+  base.counters.Increment("client.cache_invalidations", 50);
+  const CompareResult ok = CompareBenchReports(base, base, strict);
+  EXPECT_TRUE(ok.passed()) << (ok.failures.empty() ? "" : ok.failures[0]);
+
+  // Every maintenance cycle is either patched in place or rebuilt.
+  BenchReport split = base;
+  split.counters.Increment("dynamic.patched_cycles", 1);
+  EXPECT_FALSE(CompareBenchReports(split, split, strict).passed());
+  // ...gated only under --strict-counters.
+  EXPECT_TRUE(CompareBenchReports(split, split, CompareOptions{}).passed());
+
+  // Every mutation is exactly one insert, delete or update.
+  BenchReport unbalanced = base;
+  unbalanced.counters.Increment("dynamic.updates", 1);
+  EXPECT_FALSE(CompareBenchReports(unbalanced, unbalanced, strict).passed());
+
+  // The free-list only recycles slots that deletes freed...
+  BenchReport over_pushed = base;
+  over_pushed.counters.Increment("dynamic.freelist_pushes", 10);  // 45 > 40
+  EXPECT_FALSE(
+      CompareBenchReports(over_pushed, over_pushed, strict).passed());
+
+  // ...and only inserts consume them.
+  BenchReport over_popped = base;
+  over_popped.counters.Increment("dynamic.freelist_pops", 20);  // 45 > 35
+  EXPECT_FALSE(
+      CompareBenchReports(over_popped, over_popped, strict).passed());
+
+  // Only a query that observed divergence pays a delta read.
+  BenchReport over_delta = base;
+  over_delta.counters.Increment("dynamic.delta_reads", 200);  // 320 > 300
+  EXPECT_FALSE(
+      CompareBenchReports(over_delta, over_delta, strict).passed());
+
+  // Delta reads move bytes iff they happened.
+  BenchReport free_bytes = base;
+  free_bytes.counters.Increment("dynamic.delta_read_bytes", -9600);
+  EXPECT_FALSE(
+      CompareBenchReports(free_bytes, free_bytes, strict).passed());
+
+  // The server-side stale count IS the client-side invalidation count.
+  BenchReport stale_drift = base;
+  stale_drift.counters.Increment("dynamic.stale_reads", 1);
+  EXPECT_FALSE(
+      CompareBenchReports(stale_drift, stale_drift, strict).passed());
+
+  // Without a stateful client nobody validates, so nothing reads stale.
+  BenchReport no_client = BaseReport();
+  no_client.counters.Increment("dynamic.cycles", 4);
+  no_client.counters.Increment("dynamic.patched_cycles", 4);
+  no_client.counters.Increment("dynamic.stale_reads", 2);
+  EXPECT_FALSE(
+      CompareBenchReports(no_client, no_client, strict).passed());
+
+  // Negative dynamic counters are corrupt reports.
+  BenchReport negative = base;
+  negative.counters.Increment("dynamic.delta_appends", -100);
+  EXPECT_FALSE(CompareBenchReports(negative, negative, strict).passed());
+}
+
 TEST(BenchCompareTest, ShardMetadataIgnoredByGate) {
   // A partial report carries a `shard` root object and the sharding
   // timing keys (shard_index/shard_count/cell_wall_seconds). The gate

@@ -31,6 +31,12 @@
 //      the stopping rule and replaying the merge with MergeShardedReports
 //      reproduces the unsharded report bit-for-bit (points and counters);
 //      and PartitionSweep's per-shard ranges partition every cell exactly.
+//
+// Dynamic property (src/dynamic; single-channel, non-scheduled cases):
+//  I9. under a randomized mutation stream, every probe of the live
+//      program keeps I1/I3, found tracks MutationLog liveness exactly,
+//      and the dynamic.* counter identities hold. The jobs property
+//      draws an update rate too, so I6 covers the mutation engine.
 
 #include <cstdint>
 #include <memory>
@@ -47,6 +53,7 @@
 #include "core/simulator.h"
 #include "data/dataset.h"
 #include "des/random.h"
+#include "dynamic/dynamic_program.h"
 #include "schemes/multichannel.h"
 #include "schemes/scheme.h"
 
@@ -305,6 +312,56 @@ TEST(InvariantsTest, RandomizedWalks) {
                          restored->Access(dataset->absent_key(slot), tune_in));
       }
     }
+
+    // I9: a mutation stream over the same program. The runtime composes
+    // with single-channel, non-scheduled programs only (the validator
+    // enforces the same gate on configs).
+    if (c.multichannel.num_channels == 1 && !c.params.schedule.active()) {
+      constexpr double kRates[] = {0.0, 0.5, 4.0};
+      const double rate = kRates[rng.NextBounded(std::size(kRates))];
+      if (rate > 0.0) {
+        DynamicRuntime runtime;
+        DynamicRuntime::Params p;
+        p.kind = c.scheme;
+        p.universe = dataset;
+        p.geometry = c.geometry;
+        p.scheme_params = c.params;
+        p.update_rate = rate;
+        p.update_zipf = (rng.NextBounded(2) == 0) ? 0.0 : 0.9;
+        p.compact_every = (rng.NextBounded(2) == 0) ? 0 : 3;
+        p.seed = ReplicationSeed(kHarnessSeed, 5000000 + case_id);
+        p.epoch_bytes = program->channel().cycle_bytes();
+        p.base_scheme = program.get();
+        ASSERT_TRUE(runtime.Start(std::move(p)).ok());
+        // The runtime's clock is monotone (the event queue hands out
+        // arrivals in time order), so probe with increasing tune-ins.
+        Bytes now = 1;
+        for (int i = 0; i < 16; ++i) {
+          now += 1 + static_cast<Bytes>(
+                         rng.NextBounded(static_cast<std::uint64_t>(horizon)));
+          const int index = static_cast<int>(
+              rng.NextBounded(static_cast<std::uint64_t>(c.num_records)));
+          const AccessResult result =
+              runtime.Access(dataset->record(index).key, now);
+          SCOPED_TRACE("dynamic probe " + std::to_string(i) + " record " +
+                       std::to_string(index) + " now " + std::to_string(now));
+          EXPECT_EQ(result.found, runtime.log().live(index));
+          EXPECT_GE(result.tuning_time, 0);
+          EXPECT_LE(result.tuning_time, result.access_time);
+          EXPECT_EQ(result.anomalies, 0);
+          EXPECT_FALSE(result.abandoned);
+        }
+        const DynamicCounters& d = runtime.counters();
+        EXPECT_EQ(d.patched_cycles + d.rebuilt_cycles, d.cycles);
+        EXPECT_EQ(d.inserts + d.deletes + d.updates, d.mutations);
+        EXPECT_LE(d.freelist_pops, d.freelist_pushes);
+        EXPECT_LE(d.freelist_pushes, d.deletes);
+        EXPECT_LE(d.freelist_pops, d.inserts);
+        EXPECT_LE(d.dirty_queries, d.queries);
+        EXPECT_LE(d.delta_reads, d.dirty_queries);
+        EXPECT_EQ(d.delta_read_bytes == 0, d.delta_reads == 0);
+      }
+    }
   }
 }
 
@@ -340,6 +397,20 @@ TEST(InvariantsTest, JobsBitIdentity) {
         config.multichannel.num_channels == 1 && rng.NextBounded(2) == 0) {
       config.params.schedule.scheduler = SchedulerKind::kOnline;
       config.params.schedule.retier_requests = 40;
+    }
+    // The mutation engine joins the jobs mix where it composes: single
+    // channel, no scheduler, lossless channel (the validator's gate).
+    if (config.multichannel.num_channels == 1 &&
+        !config.params.schedule.active() &&
+        config.error_model.bucket_error_rate == 0.0) {
+      constexpr double kRates[] = {0.0, 1.0, 4.0};
+      config.client.update_rate = kRates[rng.NextBounded(std::size(kRates))];
+      if (config.client.update_rate > 0.0) {
+        config.client.update_zipf = (rng.NextBounded(2) == 0) ? 0.0 : 0.7;
+        constexpr int kCompacts[] = {0, 4, 8};
+        config.client.compact_every =
+            kCompacts[rng.NextBounded(std::size(kCompacts))];
+      }
     }
     config.requests_per_round = 50;
     config.min_rounds = 3;

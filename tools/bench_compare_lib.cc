@@ -380,6 +380,137 @@ CompareResult CompareBenchReports(const BenchReport& baseline,
           std::to_string(candidate.counters.Get("schedule.retier_moves")));
     }
 
+    // Dynamic-dataset accounting (src/dynamic). Every maintenance cycle
+    // is either patched in place or rebuilt by compaction, every
+    // mutation is exactly one insert/delete/update, the bucket
+    // free-list only recycles slots that deletes freed (and only
+    // inserts consume them), and a delta read exists only for a query
+    // that observed divergence — so a report violating any of these is
+    // corrupt, not drifted. When the stateful client rides on top,
+    // every stale read the server accounted is a cache invalidation the
+    // client accounted, and vice versa.
+    for (const BenchReport* report : {&baseline, &candidate}) {
+      if (!report->counters.Has("dynamic.cycles")) continue;
+      const char* side = report == &baseline ? "baseline" : "candidate";
+      for (const MetricsRegistry::Entry& entry : report->counters.entries()) {
+        if (entry.name.rfind("dynamic.", 0) == 0 && entry.value < 0) {
+          result.failures.push_back(std::string(side) + " counter '" +
+                                    entry.name + "' is negative: " +
+                                    std::to_string(entry.value));
+        }
+      }
+      const std::int64_t cycles = report->counters.Get("dynamic.cycles");
+      const std::int64_t patched =
+          report->counters.Get("dynamic.patched_cycles");
+      const std::int64_t rebuilt =
+          report->counters.Get("dynamic.rebuilt_cycles");
+      if (patched + rebuilt != cycles) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: patched_cycles " +
+            std::to_string(patched) + " + rebuilt_cycles " +
+            std::to_string(rebuilt) + " != cycles " + std::to_string(cycles));
+      }
+      const std::int64_t mutations =
+          report->counters.Get("dynamic.mutations");
+      const std::int64_t inserts = report->counters.Get("dynamic.inserts");
+      const std::int64_t deletes = report->counters.Get("dynamic.deletes");
+      const std::int64_t updates = report->counters.Get("dynamic.updates");
+      if (inserts + deletes + updates != mutations) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: inserts " +
+            std::to_string(inserts) + " + deletes " +
+            std::to_string(deletes) + " + updates " +
+            std::to_string(updates) + " != mutations " +
+            std::to_string(mutations));
+      }
+      const std::int64_t pushes =
+          report->counters.Get("dynamic.freelist_pushes");
+      const std::int64_t pops =
+          report->counters.Get("dynamic.freelist_pops");
+      if (pops > pushes) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: freelist_pops " +
+            std::to_string(pops) + " > freelist_pushes " +
+            std::to_string(pushes));
+      }
+      if (pushes > deletes) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: freelist_pushes " +
+            std::to_string(pushes) + " > deletes " + std::to_string(deletes));
+      }
+      if (pops > inserts) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: freelist_pops " +
+            std::to_string(pops) + " > inserts " + std::to_string(inserts));
+      }
+      const std::int64_t queries = report->counters.Get("dynamic.queries");
+      const std::int64_t dirty =
+          report->counters.Get("dynamic.dirty_queries");
+      const std::int64_t delta_reads =
+          report->counters.Get("dynamic.delta_reads");
+      if (dirty > queries) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: dirty_queries " +
+            std::to_string(dirty) + " > queries " + std::to_string(queries));
+      }
+      if (delta_reads > dirty) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: delta_reads " +
+            std::to_string(delta_reads) + " > dirty_queries " +
+            std::to_string(dirty));
+      }
+      const std::int64_t delta_bytes =
+          report->counters.Get("dynamic.delta_read_bytes");
+      if ((delta_bytes == 0) != (delta_reads == 0)) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: delta_read_bytes " +
+            std::to_string(delta_bytes) + " with delta_reads " +
+            std::to_string(delta_reads));
+      }
+      const std::int64_t stale_reads =
+          report->counters.Get("dynamic.stale_reads");
+      if (report->counters.Has("client.session_queries")) {
+        const std::int64_t client_invalidations =
+            report->counters.Get("client.cache_invalidations");
+        if (stale_reads != client_invalidations) {
+          result.failures.push_back(
+              std::string(side) +
+              " dynamic accounting is inconsistent: stale_reads " +
+              std::to_string(stale_reads) + " != cache_invalidations " +
+              std::to_string(client_invalidations));
+        }
+      } else if (stale_reads != 0) {
+        result.failures.push_back(
+            std::string(side) +
+            " dynamic accounting is inconsistent: stale_reads " +
+            std::to_string(stale_reads) + " without a stateful client");
+      }
+    }
+    if (baseline.counters.Has("dynamic.cycles") ||
+        candidate.counters.Has("dynamic.cycles")) {
+      result.notes.push_back(
+          "dynamic accounting: mutations " +
+          std::to_string(baseline.counters.Get("dynamic.mutations")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("dynamic.mutations")) +
+          ", dirty queries " +
+          std::to_string(baseline.counters.Get("dynamic.dirty_queries")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("dynamic.dirty_queries")) +
+          ", rebuilt cycles " +
+          std::to_string(baseline.counters.Get("dynamic.rebuilt_cycles")) +
+          " -> " +
+          std::to_string(candidate.counters.Get("dynamic.rebuilt_cycles")));
+    }
+
     if (baseline.counters.Has("client.channel_hops") ||
         candidate.counters.Has("client.channel_hops")) {
       result.notes.push_back(

@@ -101,7 +101,8 @@ fi
 # directory entry must not rely on a trailing slash — src/client/fleet
 # deliberately matches src/client/fleet.cc and src/client/fleet.h only.
 status=0
-for layer in src/schemes src/broadcast src/client src/client/fleet; do
+for layer in src/schemes src/broadcast src/client src/client/fleet \
+             src/dynamic; do
   read -r covered total < <(awk -F '\t' -v prefix="$root/$layer" '
     index($1, prefix) == 1 {
       total += 1
